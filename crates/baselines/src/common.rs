@@ -1,0 +1,240 @@
+//! Shared machinery for the comparison-target models.
+//!
+//! The baselines (PETSc-, Trilinos-, CTF-like) are *bulk-synchronous* MPI
+//! codes: computation proceeds in phases separated by collectives, and each
+//! phase's duration is the maximum over ranks. [`BspModel`] charges exactly
+//! that — in contrast to SpDISTAL's runtime simulator, whose deferred
+//! execution lets per-processor timelines decouple (the effect the paper
+//! credits for SpDISTAL's slight edge on SpMV/weak scaling).
+
+use spdistal_runtime::Machine;
+use spdistal_sparse::SpTensor;
+
+/// Result of running one baseline kernel.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Simulated wall time (seconds).
+    pub time: f64,
+    /// Total bytes moved between nodes.
+    pub comm_bytes: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Modeled operations.
+    pub ops: f64,
+}
+
+/// A bulk-synchronous cost model over the machine's *nodes* (MPI ranks are
+/// mapped onto nodes by each baseline's ranks-per-node convention).
+pub struct BspModel<'m> {
+    machine: &'m Machine,
+    time: f64,
+    comm_bytes: u64,
+    messages: u64,
+    ops: f64,
+}
+
+impl<'m> BspModel<'m> {
+    pub fn new(machine: &'m Machine) -> Self {
+        BspModel {
+            machine,
+            time: 0.0,
+            comm_bytes: 0,
+            messages: 0,
+            ops: 0.0,
+        }
+    }
+
+    pub fn num_procs(&self) -> usize {
+        self.machine.num_procs()
+    }
+
+    /// One compute phase: `per_proc_ops[p]` useful operations on processor
+    /// `p`, ending with a barrier. Rank-per-core imbalance is the caller's
+    /// concern (fold it into the per-processor op counts).
+    pub fn compute_phase(&mut self, per_proc_ops: &[f64]) {
+        let prof = &self.machine.profile().proc;
+        let max = per_proc_ops.iter().copied().fold(0.0, f64::max);
+        self.time += prof.task_overhead + max / prof.throughput;
+        self.ops += per_proc_ops.iter().sum::<f64>();
+        self.barrier();
+    }
+
+    /// Point-to-point exchange phase: each processor sends/receives up to
+    /// `per_proc_bytes[p]`; duration is set by the busiest processor.
+    pub fn exchange_phase(&mut self, per_proc_bytes: &[u64], msgs_per_proc: u64) {
+        let link = self.machine.profile().inter_link;
+        let max = per_proc_bytes.iter().copied().max().unwrap_or(0);
+        self.time += link.latency * msgs_per_proc as f64 + max as f64 / link.bandwidth;
+        self.comm_bytes += per_proc_bytes.iter().sum::<u64>();
+        self.messages += msgs_per_proc * per_proc_bytes.len() as u64;
+        self.barrier();
+    }
+
+    /// Allgather: every processor ends with `bytes` from each peer
+    /// (ring algorithm: (P-1) rounds of `bytes`).
+    pub fn allgather(&mut self, bytes_per_proc: u64) {
+        let p = self.num_procs() as u64;
+        if p <= 1 {
+            return;
+        }
+        let link = self.machine.profile().inter_link;
+        let rounds = p - 1;
+        self.time +=
+            rounds as f64 * link.latency + (rounds * bytes_per_proc) as f64 / link.bandwidth;
+        self.comm_bytes += rounds * bytes_per_proc * p;
+        self.messages += rounds * p;
+        self.barrier();
+    }
+
+    /// All-to-all redistribution of `total_bytes` spread over processors
+    /// (the dominant cost of CTF's layout changes).
+    pub fn alltoall(&mut self, total_bytes: u64) {
+        let p = self.num_procs() as u64;
+        if p <= 1 {
+            return;
+        }
+        let link = self.machine.profile().inter_link;
+        let per_proc = total_bytes / p;
+        // Each processor exchanges its share with every peer.
+        self.time += (p - 1) as f64 * link.latency + per_proc as f64 / link.bandwidth
+            * ((p - 1) as f64 / p as f64)
+            * 2.0;
+        self.comm_bytes += total_bytes;
+        self.messages += p * (p - 1);
+        self.barrier();
+    }
+
+    fn barrier(&mut self) {
+        let p = self.num_procs().max(2) as f64;
+        self.time += p.log2().ceil() * self.machine.profile().inter_link.latency;
+    }
+
+    pub fn finish(self) -> BaselineResult {
+        BaselineResult {
+            time: self.time,
+            comm_bytes: self.comm_bytes,
+            messages: self.messages,
+            ops: self.ops,
+        }
+    }
+}
+
+/// Per-processor op counts for a row-block distribution with
+/// `ranks_per_proc` static MPI ranks inside each processor: the processor's
+/// effective work is its *slowest rank's* chunk times the rank count
+/// (static intra-node partitioning cannot rebalance, unlike OpenMP dynamic
+/// scheduling).
+pub fn row_block_ops(b: &SpTensor, procs: usize, ranks_per_proc: usize, ops_per_nnz: f64) -> Vec<f64> {
+    let rows = b.dims()[0];
+    let total_ranks = procs * ranks_per_proc;
+    let rows_per_rank = rows.div_ceil(total_ranks);
+    let mut out = vec![0.0; procs];
+    for p in 0..procs {
+        let mut worst = 0u64;
+        for r in 0..ranks_per_proc {
+            let rank = p * ranks_per_proc + r;
+            let lo = rank * rows_per_rank;
+            let hi = ((rank + 1) * rows_per_rank).min(rows);
+            let nnz: u64 = (lo..hi).map(|i| b.row_nnz(i) as u64).sum();
+            worst = worst.max(nnz);
+        }
+        out[p] = worst as f64 * ranks_per_proc as f64 * ops_per_nnz;
+    }
+    out
+}
+
+/// Coefficient of variation of row non-zero counts, clamped to `[0, 1]`:
+/// the skew proxy that determines how much a static intra-node row
+/// partition (rank per core) loses to dynamic OpenMP scheduling. Banded
+/// matrices are ~0 (static == dynamic); power-law web matrices saturate
+/// at 1.
+pub fn row_skew(b: &SpTensor) -> f64 {
+    let rows = b.dims()[0];
+    if rows == 0 {
+        return 0.0;
+    }
+    let degs: Vec<f64> = (0..rows).map(|i| b.row_nnz(i) as f64).collect();
+    let mean = degs.iter().sum::<f64>() / rows as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = degs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / rows as f64;
+    (var.sqrt() / mean).clamp(0.0, 1.0)
+}
+
+/// Bytes of the off-processor vector entries each processor must gather for
+/// a row-block SpMV (the VecScatter/import volume): the number of distinct
+/// column coordinates referenced outside the processor's own block.
+pub fn scatter_bytes(b: &SpTensor, procs: usize, elem_bytes: u64) -> Vec<u64> {
+    let rows = b.dims()[0];
+    let cols = b.dims()[1];
+    let rows_per = rows.div_ceil(procs);
+    let cols_per = cols.div_ceil(procs);
+    let mut needed: Vec<std::collections::BTreeSet<i64>> =
+        vec![std::collections::BTreeSet::new(); procs];
+    b.for_each(|coord, v| {
+        if v != 0.0 {
+            let p = (coord[0] as usize) / rows_per;
+            let own_lo = (p * cols_per) as i64;
+            let own_hi = ((p + 1) * cols_per) as i64;
+            if coord[1] < own_lo || coord[1] >= own_hi {
+                needed[p.min(procs - 1)].insert(coord[1]);
+            }
+        }
+    });
+    needed.iter().map(|s| s.len() as u64 * elem_bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdistal_runtime::MachineProfile;
+    use spdistal_sparse::generate;
+
+    #[test]
+    fn bsp_phases_accumulate() {
+        let m = Machine::grid1d(4, MachineProfile::lassen_cpu());
+        let mut bsp = BspModel::new(&m);
+        bsp.compute_phase(&[1e6, 2e6, 1e6, 1e6]);
+        let t1 = bsp.time;
+        assert!(t1 >= 2e6 / 4.0e9);
+        bsp.allgather(8000);
+        let r = bsp.finish();
+        assert!(r.time > t1);
+        assert!(r.comm_bytes >= 3 * 8000 * 4);
+        assert_eq!(r.ops, 5e6);
+    }
+
+    #[test]
+    fn row_block_static_ranks_hurt_on_skew() {
+        let skewed = generate::rmat_default(9, 4000, 1);
+        // Same processors, more static ranks per processor -> worse or equal
+        // effective balance.
+        let one = row_block_ops(&skewed, 4, 1, 1.0);
+        let forty = row_block_ops(&skewed, 4, 40, 1.0);
+        let max1 = one.iter().copied().fold(0.0, f64::max);
+        let max40 = forty.iter().copied().fold(0.0, f64::max);
+        assert!(max40 >= max1);
+    }
+
+    #[test]
+    fn scatter_bytes_banded_small() {
+        // A banded matrix only needs halo columns: tiny scatter volume.
+        let banded = generate::banded(1000, 3, 2);
+        let s = scatter_bytes(&banded, 4, 8);
+        assert!(s.iter().all(|&b| b <= 3 * 8 * 2));
+    }
+
+    #[test]
+    fn alltoall_scales_with_bytes() {
+        let m = Machine::grid1d(8, MachineProfile::lassen_cpu());
+        let mut a = BspModel::new(&m);
+        a.alltoall(8_000_000);
+        let ra = a.finish();
+        let mut b = BspModel::new(&m);
+        b.alltoall(80_000_000);
+        let rb = b.finish();
+        assert!(rb.time > ra.time);
+        assert_eq!(rb.comm_bytes, 80_000_000);
+    }
+}

@@ -1,0 +1,24 @@
+//! # spdistal-baselines — the paper's comparison targets, re-implemented
+//!
+//! Faithful re-implementations of the *strategies* of the three systems
+//! SpDISTAL is evaluated against (Section VI):
+//!
+//! * [`petsc`] — a hand-written library with fixed row-block kernels, one
+//!   MPI rank per core, pairwise composition for unsupported expressions;
+//! * [`trilinos`] — Tpetra-style row/column maps with single-gather
+//!   imports, rank per socket, CUDA-UVM paging on GPUs;
+//! * [`ctf`] — interpretation: pairwise contractions with redistribution
+//!   and materialized intermediates, plus the hand-written SDDMM/MTTKRP
+//!   special cases.
+//!
+//! All three compute real results (via the reference kernels) and model
+//! their time with a bulk-synchronous cost model over the same machine
+//! profiles the SpDISTAL runtime simulator uses, so cross-system
+//! comparisons are apples-to-apples.
+
+pub mod common;
+pub mod ctf;
+pub mod petsc;
+pub mod trilinos;
+
+pub use common::{BaselineResult, BspModel};

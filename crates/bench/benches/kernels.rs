@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks: real wall-time of the leaf kernels and the
+//! end-to-end compile+execute pipeline for each evaluation kernel
+//! (complementing the figure binaries, which report modeled time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spdistal::level_funcs::{
+    equal_coord_bounds, nonzero_partition, partition_tensor, universe_partition,
+};
+use spdistal_bench::{make_inputs, run_spdistal, Kern};
+use spdistal_runtime::MachineProfile;
+use spdistal_sparse::{dataset, generate};
+
+fn leaf_kernels(c: &mut Criterion) {
+    let b = dataset::by_name("uk-2005").unwrap().generate(0.2);
+    let n = b.dims()[0];
+    let x = generate::dense_vec(b.dims()[1], 1);
+    let colors = 8;
+    let row_part = partition_tensor(
+        &b,
+        0,
+        universe_partition(&b, 0, &equal_coord_bounds(n, colors)),
+    );
+    let nz_part = partition_tensor(&b, 1, nonzero_partition(&b, 1, colors));
+
+    let mut g = c.benchmark_group("leaf_spmv");
+    g.bench_function("row_based", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0; n];
+            for col in 0..colors {
+                spdistal::kernels::matrix::spmv_color(&b, &row_part, col, &x, &mut out);
+            }
+            out
+        })
+    });
+    g.bench_function("nonzero_based", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0; n];
+            for col in 0..colors {
+                spdistal::kernels::matrix::spmv_color(&b, &nz_part, col, &x, &mut out);
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let profile = MachineProfile::lassen_cpu();
+    let mat = dataset::by_name("nlpkkt240").unwrap().generate(0.2);
+    let t3 = dataset::by_name("nell-2").unwrap().generate(0.2);
+    let mut g = c.benchmark_group("compile_and_run");
+    for kern in [Kern::SpMv, Kern::SpMm, Kern::SpAdd3, Kern::Sddmm] {
+        let inputs = make_inputs(kern, &mat);
+        let nonzero = kern == Kern::Sddmm;
+        g.bench_with_input(BenchmarkId::new("matrix", kern.name()), &inputs, |b, inp| {
+            b.iter(|| run_spdistal(kern, inp, 4, &profile, nonzero).unwrap())
+        });
+    }
+    for kern in [Kern::SpTtv, Kern::SpMttkrp] {
+        let inputs = make_inputs(kern, &t3);
+        g.bench_with_input(BenchmarkId::new("tensor", kern.name()), &inputs, |b, inp| {
+            b.iter(|| run_spdistal(kern, inp, 4, &profile, false).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = leaf_kernels, end_to_end
+}
+criterion_main!(benches);

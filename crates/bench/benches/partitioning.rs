@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the partitioning subsystem: the Table I
+//! level functions and the dependent-partitioning operators they rely on —
+//! the compile-time cost SpDISTAL pays to specialize data movement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spdistal::level_funcs::{
+    equal_coord_bounds, nonzero_partition, partition_tensor, universe_partition,
+};
+use spdistal_runtime::{image_rects, preimage_rects, Partition};
+use spdistal_sparse::{generate, Level};
+
+fn partitioning(c: &mut Criterion) {
+    let b = generate::rmat_default(14, 200_000, 7);
+    let rows = b.dims()[0];
+    let mut g = c.benchmark_group("coordinate_tree_partition");
+    for colors in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("universe", colors), &colors, |bench, &cs| {
+            bench.iter(|| {
+                partition_tensor(
+                    &b,
+                    0,
+                    universe_partition(&b, 0, &equal_coord_bounds(rows, cs)),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("nonzero", colors), &colors, |bench, &cs| {
+            bench.iter(|| partition_tensor(&b, 1, nonzero_partition(&b, 1, cs)))
+        });
+    }
+    g.finish();
+}
+
+fn dependent_ops(c: &mut Criterion) {
+    let b = generate::rmat_default(14, 200_000, 9);
+    let Level::Compressed { pos, crd } = b.level(1) else {
+        unreachable!()
+    };
+    let row_part = Partition::equal(pos.len() as u64, 16);
+    let crd_part = Partition::equal(crd.len() as u64, 16);
+    let mut g = c.benchmark_group("dependent_partitioning");
+    g.bench_function("image", |bench| {
+        bench.iter(|| image_rects(pos, &row_part, crd.len() as u64))
+    });
+    g.bench_function("preimage", |bench| {
+        bench.iter(|| preimage_rects(pos, &crd_part))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = partitioning, dependent_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,466 @@
+//! Distributed tensors and the compilation context.
+//!
+//! A [`DistTensor`] pairs the actual tensor data (shared-memory ground truth
+//! for correctness) with the logical regions registered in the runtime
+//! simulator (what the machine model sees) and the tensor's format +
+//! distribution. Creating a tensor materializes its initial data
+//! distribution: the TDN statement is resolved, the Table I level functions
+//! build a full coordinate-tree partition, and each color's sub-regions are
+//! attached to the owning processors' memories — the state the paper's
+//! methodology establishes before the timed region.
+
+use std::collections::BTreeMap;
+
+use spdistal_ir::tdn::DistSpec;
+use spdistal_ir::{Format, IndexVar, SchedError, TdnError, VarCtx};
+use spdistal_runtime::{
+    IntervalSet, Machine, Partition, Rect1, RegionId, Runtime, RuntimeError,
+};
+use spdistal_sparse::{Level, SpTensor};
+
+use crate::level_funcs::{
+    equal_coord_bounds, nonzero_partition, partition_tensor, replicated_partition,
+    universe_partition, TensorPartition,
+};
+
+/// Bytes per element of each region kind: `pos` stores `(lo, hi)` tuples,
+/// `crd` stores coordinates, `vals` stores doubles.
+pub const POS_BYTES: u64 = 16;
+pub const CRD_BYTES: u64 = 8;
+pub const VAL_BYTES: u64 = 8;
+
+/// Errors surfaced by the compiler.
+#[derive(Debug)]
+pub enum Error {
+    Tdn(TdnError),
+    Sched(SchedError),
+    Runtime(RuntimeError),
+    UnknownTensor(String),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Tdn(e) => write!(f, "{e}"),
+            Error::Sched(e) => write!(f, "{e}"),
+            Error::Runtime(e) => write!(f, "{e}"),
+            Error::UnknownTensor(t) => write!(f, "unknown tensor '{t}'"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<TdnError> for Error {
+    fn from(e: TdnError) -> Self {
+        Error::Tdn(e)
+    }
+}
+
+impl From<SchedError> for Error {
+    fn from(e: SchedError) -> Self {
+        Error::Sched(e)
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+/// Runtime regions backing one level of a tensor.
+#[derive(Clone, Debug)]
+pub enum LevelRegions {
+    /// Dense levels are implicit; only their entry space matters.
+    Dense,
+    /// Compressed levels own `pos` and `crd` regions.
+    Compressed { pos: RegionId, crd: RegionId },
+    /// Singleton levels own a `crd` region only.
+    Singleton { crd: RegionId },
+}
+
+/// Regions backing a whole tensor.
+#[derive(Clone, Debug)]
+pub struct TensorRegions {
+    pub levels: Vec<LevelRegions>,
+    pub vals: RegionId,
+}
+
+/// A tensor registered with the compiler: data + format + regions +
+/// the initial distribution's coordinate-tree partition.
+#[derive(Debug)]
+pub struct DistTensor {
+    pub name: String,
+    pub data: SpTensor,
+    pub format: Format,
+    pub regions: TensorRegions,
+    /// The initial data distribution, if the tensor is partitioned (None
+    /// means fully replicated by a distribution with no shared names).
+    pub dist_part: TensorPartition,
+    pub dist_spec: DistSpec,
+}
+
+/// The compilation context: machine + runtime + tensor table + variables.
+pub struct Context {
+    runtime: Runtime,
+    tensors: BTreeMap<String, DistTensor>,
+    vars: VarCtx,
+}
+
+impl Context {
+    pub fn new(machine: Machine) -> Self {
+        Context {
+            runtime: Runtime::new(machine),
+            tensors: BTreeMap::new(),
+            vars: VarCtx::new(),
+        }
+    }
+
+    pub fn machine(&self) -> &Machine {
+        self.runtime.machine()
+    }
+
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.runtime
+    }
+
+    pub fn vars(&self) -> &VarCtx {
+        &self.vars
+    }
+
+    pub fn vars_mut(&mut self) -> &mut VarCtx {
+        &mut self.vars
+    }
+
+    /// Declare fresh index variables (Figure 1's `IndexVar i, j;`).
+    pub fn fresh_vars<const N: usize>(&mut self, names: [&str; N]) -> [IndexVar; N] {
+        self.vars.fresh_n(names)
+    }
+
+    pub fn tensor(&self, name: &str) -> Result<&DistTensor, Error> {
+        self.tensors
+            .get(name)
+            .ok_or_else(|| Error::UnknownTensor(name.to_string()))
+    }
+
+    pub fn tensor_names(&self) -> Vec<&str> {
+        self.tensors.keys().map(String::as_str).collect()
+    }
+
+    /// Mutable access to a tensor's values (e.g. to zero an output).
+    pub fn tensor_data_mut(&mut self, name: &str) -> Result<&mut SpTensor, Error> {
+        self.tensors
+            .get_mut(name)
+            .map(|t| &mut t.data)
+            .ok_or_else(|| Error::UnknownTensor(name.to_string()))
+    }
+
+    /// Replace a tensor's data wholesale (sparse outputs with fresh
+    /// patterns re-register their regions).
+    pub fn replace_tensor_data(&mut self, name: &str, data: SpTensor) -> Result<(), Error> {
+        let (format, dist_spec_ok) = {
+            let t = self.tensor(name)?;
+            (t.format.clone(), t.data.dims() == data.dims())
+        };
+        if !dist_spec_ok {
+            return Err(Error::Unsupported(format!(
+                "replace_tensor_data for '{name}' with different dims"
+            )));
+        }
+        self.tensors.remove(name);
+        self.add_tensor(name, data, format)
+    }
+
+    /// Register a tensor with its format and materialize its initial
+    /// distribution (Figure 1 lines 18-22).
+    pub fn add_tensor(&mut self, name: &str, data: SpTensor, format: Format) -> Result<(), Error> {
+        format.validate(data.order())?;
+        let spec = format.dist.resolve(data.order())?;
+        let regions = self.create_regions(name, &data);
+        let dist_part = self.initial_partition(&data, &spec)?;
+        self.attach_distribution(&data, &regions, &dist_part, &spec)?;
+        self.tensors.insert(
+            name.to_string(),
+            DistTensor {
+                name: name.to_string(),
+                data,
+                format,
+                regions,
+                dist_part,
+                dist_spec: spec,
+            },
+        );
+        Ok(())
+    }
+
+    fn create_regions(&mut self, name: &str, data: &SpTensor) -> TensorRegions {
+        let mut parent_entries = 1usize;
+        let mut levels = Vec::with_capacity(data.order());
+        for (k, level) in data.levels().iter().enumerate() {
+            match level {
+                Level::Dense { .. } => levels.push(LevelRegions::Dense),
+                Level::Singleton { crd } => {
+                    let crd_r = self.runtime.create_region(
+                        &format!("{name}.crd{k}"),
+                        crd.len() as u64,
+                        CRD_BYTES,
+                    );
+                    self.runtime.attach_sys(crd_r);
+                    levels.push(LevelRegions::Singleton { crd: crd_r });
+                }
+                Level::Compressed { crd, .. } => {
+                    let pos = self.runtime.create_region(
+                        &format!("{name}.pos{k}"),
+                        parent_entries as u64,
+                        POS_BYTES,
+                    );
+                    let crd_r = self.runtime.create_region(
+                        &format!("{name}.crd{k}"),
+                        crd.len() as u64,
+                        CRD_BYTES,
+                    );
+                    self.runtime.attach_sys(pos);
+                    self.runtime.attach_sys(crd_r);
+                    levels.push(LevelRegions::Compressed { pos, crd: crd_r });
+                }
+            }
+            parent_entries = level.num_entries(parent_entries);
+        }
+        let vals = self.runtime.create_region(
+            &format!("{name}.vals"),
+            data.num_stored() as u64,
+            VAL_BYTES,
+        );
+        self.runtime.attach_sys(vals);
+        TensorRegions { levels, vals }
+    }
+
+    /// Build the coordinate-tree partition implied by the TDN statement.
+    fn initial_partition(
+        &self,
+        data: &SpTensor,
+        spec: &DistSpec,
+    ) -> Result<TensorPartition, Error> {
+        // Find the (at most one supported) partitioned machine dimension.
+        let mapped: Vec<(usize, usize, bool)> = spec
+            .map
+            .iter()
+            .enumerate()
+            .filter_map(|(md, ld)| ld.map(|l| (md, l, spec.nonzero[md])))
+            .collect();
+        match mapped.as_slice() {
+            [] => Ok(replicated_partition(data, self.machine().num_procs())),
+            [(md, ld, nonzero)] => {
+                let colors = self.machine().dim(*md);
+                let group = &spec.logical_dims[*ld];
+                if *nonzero {
+                    // Non-zero partition of the deepest fused level.
+                    let level = *group.last().unwrap();
+                    let init = nonzero_partition(data, level, colors);
+                    Ok(partition_tensor(data, level, init))
+                } else {
+                    if group.len() != 1 {
+                        return Err(Error::Unsupported(
+                            "universe partition of a fused dimension group".into(),
+                        ));
+                    }
+                    let level = group[0];
+                    if level != 0 {
+                        return Err(Error::Unsupported(
+                            "universe data distribution below the outermost dimension".into(),
+                        ));
+                    }
+                    let bounds = equal_coord_bounds(data.dims()[level], colors);
+                    let init = universe_partition(data, level, &bounds);
+                    Ok(partition_tensor(data, level, init))
+                }
+            }
+            _ => Err(Error::Unsupported(
+                "more than one partitioned machine dimension".into(),
+            )),
+        }
+    }
+
+    /// Attach each color's sub-regions to the memories of the owning
+    /// processors (replicating along unpartitioned machine dimensions).
+    fn attach_distribution(
+        &mut self,
+        data: &SpTensor,
+        regions: &TensorRegions,
+        part: &TensorPartition,
+        spec: &DistSpec,
+    ) -> Result<(), Error> {
+        // A distribution with no machine dimensions at all is *staged*: the
+        // data stays in staging memory and the computation's plan pulls (or
+        // pre-stages) exactly what each processor needs.
+        if spec.map.is_empty() {
+            return Ok(());
+        }
+        let md = spec
+            .map
+            .iter()
+            .enumerate()
+            .find_map(|(md, ld)| ld.map(|_| md));
+        let colors = part.num_colors();
+        for color in 0..colors {
+            let procs = procs_for_color(self.machine(), md, color);
+            for &p in &procs {
+                for (k, lr) in regions.levels.iter().enumerate() {
+                    match lr {
+                        LevelRegions::Compressed { pos, crd } => {
+                            self.runtime
+                                .attach(*pos, p, part.pos_partition(k).subset(color).clone())?;
+                            self.runtime
+                                .attach(*crd, p, part.entries[k].subset(color).clone())?;
+                        }
+                        LevelRegions::Singleton { crd } => {
+                            self.runtime
+                                .attach(*crd, p, part.entries[k].subset(color).clone())?;
+                        }
+                        LevelRegions::Dense => {}
+                    }
+                }
+                self.runtime
+                    .attach(regions.vals, p, part.vals.subset(color).clone())?;
+            }
+        }
+        let _ = data;
+        Ok(())
+    }
+}
+
+/// The processors owning `color` along machine dimension `md` (all
+/// processors when the tensor is replicated, i.e. `md == None`).
+pub fn procs_for_color(machine: &Machine, md: Option<usize>, color: usize) -> Vec<usize> {
+    let n = machine.num_procs();
+    match md {
+        None => (0..n).collect(),
+        Some(md) => (0..n)
+            .filter(|&p| grid_coord(machine, p, md) == color)
+            .collect(),
+    }
+}
+
+/// Decompose a linearized (row-major) processor index into its coordinate
+/// along machine dimension `md`.
+pub fn grid_coord(machine: &Machine, proc: usize, md: usize) -> usize {
+    let dims = machine.dims();
+    let mut rest = proc;
+    let mut coord = 0;
+    for d in 0..dims.len() {
+        let stride: usize = dims[d + 1..].iter().product();
+        coord = rest / stride;
+        rest %= stride;
+        if d == md {
+            return coord;
+        }
+    }
+    coord
+}
+
+/// Convenience: a complete universe partition covering nothing is sometimes
+/// needed for outputs created on the fly.
+pub fn empty_subsets(colors: usize) -> Vec<IntervalSet> {
+    vec![IntervalSet::new(); colors]
+}
+
+/// Build a partition placing the full `[0, len)` range on every color.
+pub fn full_partition(len: u64, colors: usize) -> Partition {
+    Partition::new(
+        len,
+        vec![IntervalSet::from_rect(Rect1::new(0, len as i64 - 1)); colors],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdistal_runtime::MachineProfile;
+    use spdistal_sparse::{dense_vector, generate};
+
+    fn ctx(procs: usize) -> Context {
+        Context::new(Machine::grid1d(procs, MachineProfile::test_profile()))
+    }
+
+    #[test]
+    fn blocked_csr_attaches_row_blocks() {
+        let mut c = ctx(4);
+        let b = generate::uniform(64, 64, 500, 1);
+        let nnz = b.nnz();
+        c.add_tensor("B", b, Format::blocked_csr()).unwrap();
+        let t = c.tensor("B").unwrap();
+        // Every proc holds some vals; the union covers all of them.
+        let mut total = 0;
+        for p in 0..4 {
+            let v = c.runtime().valid_in(t.regions.vals, p);
+            total += v.total_len();
+        }
+        assert_eq!(total, nnz as u64);
+        assert!(t.dist_part.vals.is_disjoint());
+    }
+
+    #[test]
+    fn replicated_vector_everywhere() {
+        let mut c = ctx(3);
+        c.add_tensor("c", dense_vector(vec![1.0; 100]), Format::replicated_dense_vec())
+            .unwrap();
+        let t = c.tensor("c").unwrap();
+        for p in 0..3 {
+            assert_eq!(c.runtime().valid_in(t.regions.vals, p).total_len(), 100);
+        }
+    }
+
+    #[test]
+    fn nonzero_csr_balances() {
+        let mut c = ctx(4);
+        let b = generate::rmat_default(8, 2000, 2);
+        c.add_tensor("B", b, Format::nonzero_csr()).unwrap();
+        let t = c.tensor("B").unwrap();
+        assert!(t.dist_part.vals.imbalance() < 1.05);
+        // Rows are aliased at boundaries: pos partition may overlap.
+        assert!(t.dist_part.vals.is_complete());
+    }
+
+    #[test]
+    fn unknown_tensor_error() {
+        let c = ctx(2);
+        assert!(matches!(c.tensor("Z"), Err(Error::UnknownTensor(_))));
+    }
+
+    #[test]
+    fn format_order_mismatch_rejected() {
+        let mut c = ctx(2);
+        let b = generate::uniform(8, 8, 20, 3);
+        assert!(c.add_tensor("B", b, Format::blocked_dense_vec()).is_err());
+    }
+
+    #[test]
+    fn grid_coords() {
+        let m = Machine::new(vec![2, 3], MachineProfile::test_profile());
+        assert_eq!(grid_coord(&m, 0, 0), 0);
+        assert_eq!(grid_coord(&m, 5, 0), 1);
+        assert_eq!(grid_coord(&m, 5, 1), 2);
+        assert_eq!(procs_for_color(&m, Some(1), 2), vec![2, 5]);
+        assert_eq!(procs_for_color(&m, None, 0).len(), 6);
+    }
+
+    #[test]
+    fn replace_tensor_data_checks_dims() {
+        let mut c = ctx(2);
+        c.add_tensor("a", dense_vector(vec![0.0; 10]), Format::blocked_dense_vec())
+            .unwrap();
+        assert!(c
+            .replace_tensor_data("a", dense_vector(vec![0.0; 11]))
+            .is_err());
+        c.replace_tensor_data("a", dense_vector(vec![1.0; 10]))
+            .unwrap();
+        assert_eq!(c.tensor("a").unwrap().data.vals()[0], 1.0);
+    }
+}

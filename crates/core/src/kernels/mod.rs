@@ -1,0 +1,356 @@
+//! Leaf kernels: the per-processor computations the compiler specializes.
+//!
+//! In the paper, TACO's code generation emits fused imperative loops for the
+//! innermost (single-node) computation. In this reproduction the compiler
+//! recognizes the statement's shape and dispatches to a specialized Rust
+//! leaf kernel; statements that match no specialization fall back to the
+//! loop-IR interpreter ([`spdistal_ir::interp`]), mirroring how a library
+//! would fall back to composition. Either way the leaf operates only on the
+//! sub-tensor its color owns, by clamping coordinate-tree iteration to the
+//! color's partition.
+
+pub mod matrix;
+pub mod tensor3;
+
+use spdistal_ir::{Assignment, Term};
+use spdistal_sparse::{Level, LevelFormat, SpTensor};
+
+use crate::level_funcs::TensorPartition;
+
+/// The specialized leaf computations (the paper's evaluation kernels,
+/// Section VI-A).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LeafKernel {
+    /// `a(i) = B(i,j) · c(j)`
+    SpMv,
+    /// `A(i,j) = B(i,k) · C(k,j)`
+    SpMm { jdim: usize },
+    /// `A(i,j) = B(i,j) + C(i,j) + D(i,j)`
+    SpAdd3,
+    /// `A(i,j) = B(i,j) · C(i,k) · D(k,j)`
+    Sddmm { kdim: usize },
+    /// `A(i,j) = B(i,j,k) · c(k)`
+    SpTtv,
+    /// `A(i,l) = B(i,j,k) · C(j,l) · D(k,l)`
+    SpMttkrp { ldim: usize },
+    /// Anything else: interpreted fallback.
+    Generic,
+}
+
+/// Recognize the statement shape. `lookup(name)` returns
+/// `(order, is_sparse, dims)` for a tensor.
+pub fn recognize(
+    stmt: &Assignment,
+    lookup: &dyn Fn(&str) -> Option<(usize, bool, Vec<usize>)>,
+) -> LeafKernel {
+    let sop = stmt.rhs.sum_of_products();
+    let lhs = &stmt.lhs;
+
+    let info = |t: &str| lookup(t);
+    fn access_of<'a>(term: &'a [Term]) -> Vec<&'a spdistal_ir::Access> {
+        term.iter()
+            .filter_map(|t| match t {
+                Term::Access(a) => Some(a),
+                Term::Const(_) => None,
+            })
+            .collect()
+    }
+
+    // SpAdd3: three singleton sparse terms, all with the lhs's index vars.
+    if sop.len() == 3 && lhs.indices.len() == 2 {
+        let all_match = sop.iter().all(|term| {
+            let acc = access_of(term);
+            acc.len() == 1
+                && acc[0].indices == lhs.indices
+                && info(&acc[0].tensor).is_some_and(|(o, s, _)| o == 2 && s)
+        });
+        if all_match {
+            return LeafKernel::SpAdd3;
+        }
+    }
+
+    if sop.len() != 1 {
+        return LeafKernel::Generic;
+    }
+    let acc = access_of(&sop[0]);
+
+    match acc.as_slice() {
+        // SpMV: B(i,j) * c(j), lhs a(i).
+        [b, c] if lhs.indices.len() == 1 => {
+            let (i,) = (lhs.indices[0],);
+            if b.indices.len() == 2
+                && c.indices.len() == 1
+                && b.indices[0] == i
+                && b.indices[1] == c.indices[0]
+                && info(&b.tensor).is_some_and(|(o, s, _)| o == 2 && s)
+                && info(&c.tensor).is_some_and(|(o, s, _)| o == 1 && !s)
+            {
+                return LeafKernel::SpMv;
+            }
+            LeafKernel::Generic
+        }
+        // SpMM: B(i,k) * C(k,j) -> A(i,j);  SpTTV: B(i,j,k) * c(k) -> A(i,j).
+        [b, c] if lhs.indices.len() == 2 => {
+            let (i, j) = (lhs.indices[0], lhs.indices[1]);
+            if b.indices.len() == 2
+                && c.indices.len() == 2
+                && b.indices[0] == i
+                && b.indices[1] == c.indices[0]
+                && c.indices[1] == j
+                && info(&b.tensor).is_some_and(|(o, s, _)| o == 2 && s)
+            {
+                if let Some((_, false, dims)) = info(&c.tensor) {
+                    return LeafKernel::SpMm { jdim: dims[1] };
+                }
+            }
+            if b.indices.len() == 3
+                && c.indices.len() == 1
+                && b.indices[0] == i
+                && b.indices[1] == j
+                && b.indices[2] == c.indices[0]
+                && info(&b.tensor).is_some_and(|(o, s, _)| o == 3 && s)
+                && info(&c.tensor).is_some_and(|(_, s, _)| !s)
+            {
+                return LeafKernel::SpTtv;
+            }
+            LeafKernel::Generic
+        }
+        // SDDMM: B(i,j)*C(i,k)*D(k,j);  SpMTTKRP: B(i,j,k)*C(j,l)*D(k,l).
+        [b, c, d] if lhs.indices.len() == 2 => {
+            let (i, j) = (lhs.indices[0], lhs.indices[1]);
+            if b.indices.len() == 2
+                && b.indices[0] == i
+                && b.indices[1] == j
+                && c.indices.len() == 2
+                && d.indices.len() == 2
+                && c.indices[0] == i
+                && c.indices[1] == d.indices[0]
+                && d.indices[1] == j
+                && info(&b.tensor).is_some_and(|(o, s, _)| o == 2 && s)
+                && info(&c.tensor).is_some_and(|(_, s, _)| !s)
+                && info(&d.tensor).is_some_and(|(_, s, _)| !s)
+            {
+                if let Some((_, _, dims)) = info(&c.tensor) {
+                    return LeafKernel::Sddmm { kdim: dims[1] };
+                }
+            }
+            // SpMTTKRP: lhs A(i, l).
+            let l = lhs.indices[1];
+            if b.indices.len() == 3
+                && b.indices[0] == i
+                && c.indices.len() == 2
+                && d.indices.len() == 2
+                && c.indices[0] == b.indices[1]
+                && d.indices[0] == b.indices[2]
+                && c.indices[1] == l
+                && d.indices[1] == l
+                && info(&b.tensor).is_some_and(|(o, s, _)| o == 3 && s)
+                && info(&c.tensor).is_some_and(|(_, s, _)| !s)
+                && info(&d.tensor).is_some_and(|(_, s, _)| !s)
+            {
+                if let Some((_, _, dims)) = info(&c.tensor) {
+                    return LeafKernel::SpMttkrp { ldim: dims[1] };
+                }
+            }
+            LeafKernel::Generic
+        }
+        _ => LeafKernel::Generic,
+    }
+}
+
+/// Walk the stored entries of `t` owned by `color` under `part`, calling
+/// `f(coords, level_entries, value)` for each. Iteration at every level is
+/// clamped to the color's entry partition, so aliased partitions (e.g.
+/// boundary rows of a non-zero split) visit exactly the positions the color
+/// owns at the leaf level.
+pub fn walk_partitioned(
+    t: &SpTensor,
+    part: &TensorPartition,
+    color: usize,
+    f: &mut dyn FnMut(&[i64], &[usize], f64),
+) {
+    let mut coords = vec![0i64; t.order()];
+    let mut entries = vec![0usize; t.order()];
+    walk_rec(t, part, color, 0, 0, &mut coords, &mut entries, f);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_rec(
+    t: &SpTensor,
+    part: &TensorPartition,
+    color: usize,
+    level: usize,
+    parent_entry: usize,
+    coords: &mut Vec<i64>,
+    entries: &mut Vec<usize>,
+    f: &mut dyn FnMut(&[i64], &[usize], f64),
+) {
+    if level == t.order() {
+        f(coords, entries, t.vals()[parent_entry]);
+        return;
+    }
+    let subset = part.entries[level].subset(color);
+    match t.level(level) {
+        Level::Dense { size } => {
+            let s = *size as i64;
+            let range = spdistal_runtime::Rect1::new(
+                parent_entry as i64 * s,
+                parent_entry as i64 * s + s - 1,
+            );
+            let clamped: Vec<_> = subset.intersect_rect(range).collect();
+            for r in clamped {
+                for e in r.lo..=r.hi {
+                    coords[level] = e - parent_entry as i64 * s;
+                    entries[level] = e as usize;
+                    walk_rec(t, part, color, level + 1, e as usize, coords, entries, f);
+                }
+            }
+        }
+        Level::Compressed { pos, crd } => {
+            let range = pos[parent_entry];
+            if range.is_empty() {
+                return;
+            }
+            let clamped: Vec<_> = subset.intersect_rect(range).collect();
+            for r in clamped {
+                for q in r.lo..=r.hi {
+                    coords[level] = crd[q as usize];
+                    entries[level] = q as usize;
+                    walk_rec(t, part, color, level + 1, q as usize, coords, entries, f);
+                }
+            }
+        }
+        Level::Singleton { crd } => {
+            if subset.contains(parent_entry as i64) {
+                coords[level] = crd[parent_entry];
+                entries[level] = parent_entry;
+                walk_rec(t, part, color, level + 1, parent_entry, coords, entries, f);
+            }
+        }
+    }
+}
+
+/// True iff the tensor has any compressed level (the "bolded" tensors of
+/// the paper's kernel list).
+pub fn is_sparse(t: &SpTensor) -> bool {
+    t.formats().contains(&LevelFormat::Compressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level_funcs::{nonzero_partition, partition_tensor, replicated_partition};
+    use spdistal_ir::{Access, Expr, VarCtx};
+    use spdistal_sparse::generate;
+
+    fn mk_lookup(
+        entries: Vec<(&'static str, usize, bool, Vec<usize>)>,
+    ) -> impl Fn(&str) -> Option<(usize, bool, Vec<usize>)> {
+        move |name: &str| {
+            entries
+                .iter()
+                .find(|(n, _, _, _)| *n == name)
+                .map(|(_, o, s, d)| (*o, *s, d.clone()))
+        }
+    }
+
+    #[test]
+    fn recognize_all_six() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k, l] = ctx.fresh_n(["i", "j", "k", "l"]);
+        let lk = mk_lookup(vec![
+            ("B2", 2, true, vec![10, 12]),
+            ("B3", 3, true, vec![10, 12, 14]),
+            ("C2", 2, true, vec![10, 12]),
+            ("D2", 2, true, vec![10, 12]),
+            ("c", 1, false, vec![12]),
+            ("ck", 1, false, vec![14]),
+            ("Cd", 2, false, vec![12, 8]),
+            ("Ck", 2, false, vec![10, 6]),
+            ("Dk", 2, false, vec![6, 12]),
+            ("Cl", 2, false, vec![12, 4]),
+            ("Dl", 2, false, vec![14, 4]),
+        ]);
+
+        // SpMV
+        let s = Assignment::new(
+            Access::new("a", &[i]),
+            Expr::access("B2", &[i, j]) * Expr::access("c", &[j]),
+        );
+        assert_eq!(recognize(&s, &lk), LeafKernel::SpMv);
+
+        // SpMM
+        let s = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B2", &[i, k]) * Expr::access("Dk", &[k, j]),
+        );
+        assert_eq!(recognize(&s, &lk), LeafKernel::SpMm { jdim: 12 });
+
+        // SpAdd3
+        let s = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B2", &[i, j]) + Expr::access("C2", &[i, j]) + Expr::access("D2", &[i, j]),
+        );
+        assert_eq!(recognize(&s, &lk), LeafKernel::SpAdd3);
+
+        // SDDMM
+        let s = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B2", &[i, j]) * Expr::access("Ck", &[i, k]) * Expr::access("Dk", &[k, j]),
+        );
+        assert_eq!(recognize(&s, &lk), LeafKernel::Sddmm { kdim: 6 });
+
+        // SpTTV
+        let s = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B3", &[i, j, k]) * Expr::access("ck", &[k]),
+        );
+        assert_eq!(recognize(&s, &lk), LeafKernel::SpTtv);
+
+        // SpMTTKRP
+        let s = Assignment::new(
+            Access::new("A", &[i, l]),
+            Expr::access("B3", &[i, j, k])
+                * Expr::access("Cl", &[j, l])
+                * Expr::access("Dl", &[k, l]),
+        );
+        assert_eq!(recognize(&s, &lk), LeafKernel::SpMttkrp { ldim: 4 });
+
+        // Something else.
+        let s = Assignment::new(Access::new("a", &[i]), Expr::access("c", &[i]));
+        assert_eq!(recognize(&s, &lk), LeafKernel::Generic);
+    }
+
+    #[test]
+    fn walk_partitioned_covers_all_once_when_disjoint() {
+        let t = generate::uniform(32, 32, 300, 5);
+        let nnz = t.nnz();
+        let part = partition_tensor(&t, 1, nonzero_partition(&t, 1, 4));
+        let mut seen = vec![0u32; t.num_stored()];
+        for c in 0..4 {
+            walk_partitioned(&t, &part, c, &mut |_, entries, _| {
+                seen[entries[1]] += 1;
+            });
+        }
+        assert_eq!(seen.len(), nnz);
+        assert!(seen.iter().all(|&s| s == 1), "each nnz visited exactly once");
+    }
+
+    #[test]
+    fn walk_replicated_visits_everything_per_color() {
+        let t = generate::tensor3_uniform([8, 8, 8], 100, 6);
+        let part = replicated_partition(&t, 2);
+        let mut count = 0;
+        walk_partitioned(&t, &part, 1, &mut |_, _, _| count += 1);
+        assert_eq!(count, t.nnz());
+    }
+
+    #[test]
+    fn walk_coords_match_for_each() {
+        let t = generate::tensor3_uniform([6, 7, 8], 60, 7);
+        let part = replicated_partition(&t, 1);
+        let mut from_walk = Vec::new();
+        walk_partitioned(&t, &part, 0, &mut |c, _, v| from_walk.push((c.to_vec(), v)));
+        assert_eq!(from_walk, t.to_coo());
+    }
+}

@@ -1,0 +1,58 @@
+//! # spdistal — a compiler for distributed sparse tensor algebra
+//!
+//! A Rust reproduction of **SpDISTAL** (Yadav, Aiken, Kjolstad; SC 2022).
+//! SpDISTAL combines four independent descriptions — tensor algebra
+//! expressions, sparse data structures, data distribution, and computation
+//! distribution — and compiles them to a distributed task-based runtime.
+//!
+//! This crate is the paper's primary contribution: the Table I partitioning
+//! level functions ([`level_funcs`]), the Figure 9a code generation
+//! algorithm ([`codegen`]), distributed tensors with materialized initial
+//! distributions ([`dist_tensor`]), plan execution against the Legion-like
+//! runtime simulator ([`plan`]), and the specialized leaf kernels
+//! ([`kernels`]).
+//!
+//! ```
+//! use spdistal::prelude::*;
+//! use spdistal_sparse::{dense_vector, generate};
+//!
+//! // Machine M(Grid(pieces)) — Figure 1.
+//! let pieces = 4;
+//! let mut ctx = Context::new(Machine::grid1d(pieces, MachineProfile::lassen_cpu()));
+//!
+//! // Tensors with formats + distributions.
+//! let b = generate::banded(256, 5, 0);
+//! ctx.add_tensor("a", dense_vector(vec![0.0; 256]), Format::blocked_dense_vec()).unwrap();
+//! ctx.add_tensor("B", b, Format::blocked_csr()).unwrap();
+//! ctx.add_tensor("c", dense_vector(vec![1.0; 256]), Format::replicated_dense_vec()).unwrap();
+//!
+//! // a(i) = B(i,j) * c(j), row-distributed.
+//! let [i, j] = ctx.fresh_vars(["i", "j"]);
+//! let stmt = assign("a", &[i], access("B", &[i, j]) * access("c", &[j]));
+//! let sched = schedule_outer_dim(&mut ctx, &stmt, pieces, ParallelUnit::CpuThread);
+//! let result = ctx.compile_and_run(&stmt, &sched).unwrap();
+//! assert!(result.time > 0.0);
+//! ```
+
+pub mod api;
+pub mod codegen;
+pub mod dist_tensor;
+pub mod kernels;
+pub mod level_funcs;
+pub mod plan;
+
+pub use api::{access, assign, schedule_nonzero, schedule_outer_dim};
+pub use codegen::{OutKind, Plan, PlannedInput, PlannedOutput};
+pub use dist_tensor::{Context, DistTensor, Error};
+pub use kernels::LeafKernel;
+pub use level_funcs::TensorPartition;
+pub use plan::{ExecResult, OutputValue};
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::api::{access, assign, schedule_nonzero, schedule_outer_dim};
+    pub use crate::dist_tensor::{Context, Error};
+    pub use crate::plan::{ExecResult, OutputValue};
+    pub use spdistal_ir::{Format, ParallelUnit, Schedule};
+    pub use spdistal_runtime::{Machine, MachineProfile};
+}

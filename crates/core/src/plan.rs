@@ -1,0 +1,423 @@
+//! Plan execution: launch the compiled distributed computation on the
+//! runtime simulator while running the real leaf kernels for correctness.
+//!
+//! One index launch is issued per distributed loop (two for unknown-pattern
+//! sparse outputs, following the two-phase assembly of Section V-B). Each
+//! point task's region requirements name exactly the `pos`/`crd`/`vals`
+//! sub-regions its color owns under the plan's partitions, so the runtime
+//! infers the same communication Legion would.
+
+use spdistal_ir::{interp, Bindings};
+use spdistal_runtime::{
+    IntervalSet, LaunchRecord, Privilege, Rect1, RegionReq, TaskSpec,
+};
+use spdistal_sparse::{dense_vector, CooTensor, Level, SpTensor};
+
+use crate::codegen::{OutKind, Plan, PlannedInput};
+use crate::dist_tensor::{procs_for_color, Context, Error, LevelRegions, VAL_BYTES};
+use crate::kernels::{matrix, tensor3, LeafKernel};
+use crate::level_funcs::entry_counts;
+
+/// The computed value of a plan's output.
+#[derive(Clone, Debug)]
+pub enum OutputValue {
+    /// Dense buffer (vector, or row-major matrix with the plan's width).
+    Dense(Vec<f64>),
+    /// A sparse tensor (pattern-aligned or assembled).
+    Tensor(SpTensor),
+}
+
+impl OutputValue {
+    pub fn as_dense(&self) -> Option<&[f64]> {
+        match self {
+            OutputValue::Dense(v) => Some(v),
+            OutputValue::Tensor(_) => None,
+        }
+    }
+
+    pub fn as_tensor(&self) -> Option<&SpTensor> {
+        match self {
+            OutputValue::Tensor(t) => Some(t),
+            OutputValue::Dense(_) => None,
+        }
+    }
+}
+
+/// Result of executing a plan once.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    /// Simulated wall time of this execution (seconds).
+    pub time: f64,
+    /// Bytes moved between memories during this execution.
+    pub comm_bytes: u64,
+    /// Messages sent during this execution.
+    pub messages: u64,
+    /// Modeled operations executed.
+    pub ops: f64,
+    /// Per-launch records.
+    pub records: Vec<LaunchRecord>,
+    pub output: OutputValue,
+}
+
+/// Execute `plan` within `ctx`. The lhs tensor's data is replaced by the
+/// computed output (so chained statements, e.g. CP-ALS sweeps, see it).
+pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
+    let time0 = ctx.runtime().now();
+    let stats0 = (
+        ctx.runtime().stats().comm_bytes,
+        ctx.runtime().stats().messages,
+        ctx.runtime().stats().total_ops,
+        ctx.runtime().stats().records.len(),
+    );
+
+    // --- compute phase (real kernels on shared-memory data) -------------
+    let (computed, ops) = compute(ctx, plan)?;
+
+    // --- model phase (region requirements + index launch) ---------------
+    let out_len = match &computed {
+        Computed::Dense(v) => v.len() as u64,
+        Computed::PatternVals(v) => v.len() as u64,
+        Computed::Assembled { total_nnz, .. } => *total_nnz as u64,
+    };
+    let out_region = ctx.runtime_mut().create_region(
+        &format!("{}.out", plan.output.tensor),
+        out_len,
+        VAL_BYTES,
+    );
+
+    let out_priv = if plan.output.reduce {
+        Privilege::Reduce
+    } else {
+        Privilege::ReadWrite
+    };
+
+    // Output subsets per color.
+    let out_subsets: Vec<IntervalSet> = match (&plan.output.kind, &computed) {
+        (OutKind::DenseVec, _) => (0..plan.colors)
+            .map(|c| plan.output.part.subset(c).clone())
+            .collect(),
+        (OutKind::DenseMat { width }, _) => (0..plan.colors)
+            .map(|c| scale_set(plan.output.part.subset(c), *width))
+            .collect(),
+        (OutKind::PatternVals { .. }, _) => (0..plan.colors)
+            .map(|c| plan.output.part.subset(c).clone())
+            .collect(),
+        (OutKind::SparseAssembled, Computed::Assembled { per_color_nnz, .. }) => {
+            // Colors own contiguous output ranges in color order.
+            let mut off = 0i64;
+            per_color_nnz
+                .iter()
+                .map(|&n| {
+                    let s = if n == 0 {
+                        IntervalSet::new()
+                    } else {
+                        IntervalSet::from_rect(Rect1::new(off, off + n as i64 - 1))
+                    };
+                    off += n as i64;
+                    s
+                })
+                .collect()
+        }
+        (OutKind::SparseAssembled, _) => unreachable!("assembled output shape"),
+    };
+
+    let mk_tasks = |ctx: &Context,
+                    ops: &[f64],
+                    include_out: bool|
+     -> Result<Vec<TaskSpec>, Error> {
+        let mut tasks = Vec::with_capacity(plan.colors);
+        for c in 0..plan.colors {
+            let proc = procs_for_color(ctx.machine(), Some(plan.machine_dim), c)
+                .into_iter()
+                .next()
+                .ok_or_else(|| Error::Unsupported("empty machine dimension".into()))?;
+            let mut task = TaskSpec::new(proc, ops[c]);
+            for input in &plan.inputs {
+                add_input_reqs(ctx, input, c, &mut task)?;
+            }
+            if include_out && !out_subsets[c].is_empty() {
+                task.reqs.push(RegionReq {
+                    region: out_region,
+                    subset: out_subsets[c].clone(),
+                    privilege: out_priv,
+                });
+            }
+            tasks.push(task);
+        }
+        Ok(tasks)
+    };
+
+    match &computed {
+        Computed::Assembled {
+            symbolic_ops,
+            numeric_ops,
+            ..
+        } => {
+            // Two-phase assembly: symbolic pass discovers the pattern,
+            // numeric pass writes values (Chou et al., Section V-B).
+            let t1 = mk_tasks(ctx, symbolic_ops, false)?;
+            ctx.runtime_mut()
+                .index_launch(&format!("{}:symbolic", plan.name), t1)?;
+            let t2 = mk_tasks(ctx, numeric_ops, true)?;
+            ctx.runtime_mut()
+                .index_launch(&format!("{}:numeric", plan.name), t2)?;
+        }
+        _ => {
+            let tasks = mk_tasks(ctx, &ops, true)?;
+            ctx.runtime_mut().index_launch(&plan.name, tasks)?;
+        }
+    }
+
+    // --- write back ------------------------------------------------------
+    let output = materialize_output(ctx, plan, computed)?;
+    if let OutputValue::Tensor(t) = &output {
+        ctx.replace_tensor_data(&plan.output.tensor, t.clone())?;
+    } else if let OutputValue::Dense(v) = &output {
+        // Dense outputs write through when shapes line up.
+        if let Ok(data) = ctx.tensor_data_mut(&plan.output.tensor) {
+            if data.num_stored() == v.len() {
+                data.vals_mut().copy_from_slice(v);
+            }
+        }
+    }
+
+    let stats = ctx.runtime().stats();
+    Ok(ExecResult {
+        time: ctx.runtime().now() - time0,
+        comm_bytes: stats.comm_bytes - stats0.0,
+        messages: stats.messages - stats0.1,
+        ops: stats.total_ops - stats0.2,
+        records: stats.records[stats0.3..].to_vec(),
+        output,
+    })
+}
+
+/// Region requirements for one input tensor under its planned partition.
+fn add_input_reqs(
+    ctx: &Context,
+    input: &PlannedInput,
+    color: usize,
+    task: &mut TaskSpec,
+) -> Result<(), Error> {
+    let t = ctx.tensor(&input.tensor)?;
+    for (k, lr) in t.regions.levels.iter().enumerate() {
+        match lr {
+            LevelRegions::Compressed { pos, crd } => {
+                let pos_sub = input.part.pos_partition(k).subset(color).clone();
+                if !pos_sub.is_empty() {
+                    task.reqs.push(RegionReq::read(*pos, pos_sub));
+                }
+                let crd_sub = input.part.entries[k].subset(color).clone();
+                if !crd_sub.is_empty() {
+                    task.reqs.push(RegionReq::read(*crd, crd_sub));
+                }
+            }
+            LevelRegions::Singleton { crd } => {
+                let crd_sub = input.part.entries[k].subset(color).clone();
+                if !crd_sub.is_empty() {
+                    task.reqs.push(RegionReq::read(*crd, crd_sub));
+                }
+            }
+            LevelRegions::Dense => {}
+        }
+    }
+    let vals_sub = input.part.vals.subset(color).clone();
+    if !vals_sub.is_empty() {
+        task.reqs.push(RegionReq::read(t.regions.vals, vals_sub));
+    }
+    Ok(())
+}
+
+/// Scale a coordinate set by a row width (row-major linearization).
+fn scale_set(s: &IntervalSet, width: usize) -> IntervalSet {
+    let w = width as i64;
+    IntervalSet::from_rects(
+        s.rects()
+            .iter()
+            .map(|r| Rect1::new(r.lo * w, (r.hi + 1) * w - 1))
+            .collect(),
+    )
+}
+
+enum Computed {
+    Dense(Vec<f64>),
+    PatternVals(Vec<f64>),
+    Assembled {
+        rows: Vec<matrix::AddRow>,
+        per_color_nnz: Vec<usize>,
+        total_nnz: usize,
+        symbolic_ops: Vec<f64>,
+        numeric_ops: Vec<f64>,
+    },
+}
+
+/// Run the leaf kernels for every color, returning the computed output and
+/// per-color operation counts.
+fn compute(ctx: &Context, plan: &Plan) -> Result<(Computed, Vec<f64>), Error> {
+    let accesses = plan.stmt.rhs.accesses();
+    let data = |name: &str| ctx.tensor(name).map(|t| &t.data);
+    let driver = data(&plan.driver)?;
+    let part = &plan
+        .inputs
+        .iter()
+        .find(|i| i.tensor == plan.driver)
+        .unwrap()
+        .part;
+    let mut ops = vec![0.0; plan.colors];
+
+    let computed = match &plan.kernel {
+        LeafKernel::SpMv => {
+            let c = data(&accesses[1].tensor)?.vals();
+            let mut out = vec![0.0; driver.dims()[0]];
+            for col in 0..plan.colors {
+                ops[col] = matrix::spmv_color(driver, part, col, c, &mut out);
+            }
+            Computed::Dense(out)
+        }
+        LeafKernel::SpMm { jdim } => {
+            let c = data(&accesses[1].tensor)?.vals();
+            let mut out = vec![0.0; driver.dims()[0] * jdim];
+            for col in 0..plan.colors {
+                ops[col] = matrix::spmm_color(driver, part, col, c, *jdim, &mut out);
+            }
+            Computed::Dense(out)
+        }
+        LeafKernel::Sddmm { kdim } => {
+            let c = data(&accesses[1].tensor)?.vals();
+            let d = data(&accesses[2].tensor)?.vals();
+            let mut vals = vec![0.0; driver.num_stored()];
+            for col in 0..plan.colors {
+                ops[col] = matrix::sddmm_color(
+                    driver,
+                    part,
+                    col,
+                    c,
+                    d,
+                    *kdim,
+                    driver.dims()[1],
+                    &mut vals,
+                );
+            }
+            Computed::PatternVals(vals)
+        }
+        LeafKernel::SpAdd3 => {
+            let c = data(&accesses[1].tensor)?;
+            let d = data(&accesses[2].tensor)?;
+            let mut all_rows = Vec::new();
+            let mut per_color_nnz = Vec::with_capacity(plan.colors);
+            let mut symbolic_ops = Vec::with_capacity(plan.colors);
+            let mut numeric_ops = Vec::with_capacity(plan.colors);
+            for col in 0..plan.colors {
+                let (rows, sym, num) = matrix::spadd3_color(driver, c, d, part, col);
+                per_color_nnz.push(rows.iter().map(|r| r.cols.len()).sum());
+                symbolic_ops.push(sym);
+                numeric_ops.push(num);
+                ops[col] = sym + num;
+                all_rows.extend(rows);
+            }
+            let total_nnz = per_color_nnz.iter().sum();
+            Computed::Assembled {
+                rows: all_rows,
+                per_color_nnz,
+                total_nnz,
+                symbolic_ops,
+                numeric_ops,
+            }
+        }
+        LeafKernel::SpTtv => {
+            let c = data(&accesses[1].tensor)?.vals();
+            let mut fibers = vec![0.0; entry_counts(driver)[1] as usize];
+            for col in 0..plan.colors {
+                ops[col] = tensor3::spttv_color(driver, part, col, c, &mut fibers);
+            }
+            Computed::PatternVals(fibers)
+        }
+        LeafKernel::SpMttkrp { ldim } => {
+            let c = data(&accesses[1].tensor)?.vals();
+            let d = data(&accesses[2].tensor)?.vals();
+            let mut out = vec![0.0; driver.dims()[0] * ldim];
+            for col in 0..plan.colors {
+                ops[col] =
+                    tensor3::spmttkrp_color(driver, part, col, c, d, *ldim, &mut out);
+            }
+            Computed::Dense(out)
+        }
+        LeafKernel::Generic => {
+            // Interpreted fallback: evaluate once, split modeled work by the
+            // driver's values partition.
+            let mut bindings = Bindings::new();
+            for name in plan.stmt.tensor_names() {
+                if name != plan.output.tensor {
+                    bindings = bindings.bind(&name.clone(), &ctx.tensor(&name)?.data);
+                }
+            }
+            let result = interp::evaluate(&plan.stmt, &bindings)
+                .map_err(|e| Error::Unsupported(format!("interp: {e}")))?;
+            let out_t = data(&plan.output.tensor)?;
+            let dense = interp::result_to_dense(&result, out_t.dims());
+            for col in 0..plan.colors {
+                ops[col] = part.vals.subset(col).total_len() as f64;
+            }
+            Computed::Dense(dense)
+        }
+    };
+    Ok((computed, ops))
+}
+
+/// Turn the computed buffers into the plan's output value.
+fn materialize_output(
+    ctx: &Context,
+    plan: &Plan,
+    computed: Computed,
+) -> Result<OutputValue, Error> {
+    match (computed, &plan.output.kind) {
+        (Computed::Dense(v), OutKind::DenseVec) => {
+            Ok(OutputValue::Tensor(dense_vector(v)))
+        }
+        (Computed::Dense(v), OutKind::DenseMat { width }) => {
+            let rows = v.len() / width;
+            Ok(OutputValue::Tensor(spdistal_sparse::dense_matrix(
+                rows, *width, v,
+            )))
+        }
+        (Computed::PatternVals(vals), OutKind::PatternVals { level }) => {
+            let driver = &ctx.tensor(&plan.driver)?.data;
+            let t = if *level == driver.order() - 1 {
+                // Full pattern reuse (SDDMM).
+                let mut out = driver.clone();
+                out.vals_mut().copy_from_slice(&vals);
+                out
+            } else {
+                // Fiber-level pattern (SpTTV): first two levels.
+                tensor3::spttv_output(driver, vals)
+            };
+            Ok(OutputValue::Tensor(t))
+        }
+        (Computed::Assembled { rows, .. }, OutKind::SparseAssembled) => {
+            let out_t = &ctx.tensor(&plan.output.tensor)?.data;
+            Ok(OutputValue::Tensor(matrix::assemble_rows(
+                out_t.dims()[0],
+                out_t.dims()[1],
+                rows,
+            )))
+        }
+        (Computed::Dense(v), _) => Ok(OutputValue::Dense(v)),
+        _ => Err(Error::Unsupported("output kind mismatch".into())),
+    }
+}
+
+/// Build a dense SpTensor over arbitrary dims from a flat buffer (used by
+/// callers assembling custom outputs).
+pub fn dense_tensor(dims: &[usize], vals: Vec<f64>) -> SpTensor {
+    assert_eq!(dims.iter().product::<usize>(), vals.len());
+    let levels = dims
+        .iter()
+        .map(|&d| Level::Dense { size: d })
+        .collect();
+    SpTensor::from_parts(dims.to_vec(), levels, vals)
+}
+
+/// Helper for tests/benches: a zeroed COO-backed CSR with given dims.
+pub fn empty_csr(rows: usize, cols: usize) -> SpTensor {
+    CooTensor::new(vec![rows, cols]).build(&spdistal_sparse::generate::CSR)
+}

@@ -1,0 +1,236 @@
+//! Tensor index notation (TIN): the computation language of Section II-A.
+//!
+//! A TIN statement assigns into a left-hand-side access from an expression
+//! built out of accesses, multiplications and additions; index variables
+//! appearing only on the right-hand side are sum-reductions over their
+//! domain. `A(i,j) = B(i,j,k) * c(k)` is the tensor-times-vector example
+//! from the paper.
+
+use std::collections::BTreeSet;
+use std::ops::{Add, Mul};
+
+use crate::vars::IndexVar;
+
+/// A tensor access `T(i, j, ...)`. Tensors are identified by name; the
+/// compiler resolves names against its tensor table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    pub tensor: String,
+    pub indices: Vec<IndexVar>,
+}
+
+impl Access {
+    pub fn new(tensor: &str, indices: &[IndexVar]) -> Self {
+        Access {
+            tensor: tensor.to_string(),
+            indices: indices.to_vec(),
+        }
+    }
+}
+
+/// A tensor index notation expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Access(Access),
+    Mul(Box<Expr>, Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Const(f64),
+}
+
+impl Expr {
+    pub fn access(tensor: &str, indices: &[IndexVar]) -> Expr {
+        Expr::Access(Access::new(tensor, indices))
+    }
+
+    /// All accesses in the expression, left to right.
+    pub fn accesses(&self) -> Vec<&Access> {
+        let mut out = Vec::new();
+        self.collect_accesses(&mut out);
+        out
+    }
+
+    fn collect_accesses<'a>(&'a self, out: &mut Vec<&'a Access>) {
+        match self {
+            Expr::Access(a) => out.push(a),
+            Expr::Mul(l, r) | Expr::Add(l, r) => {
+                l.collect_accesses(out);
+                r.collect_accesses(out);
+            }
+            Expr::Const(_) => {}
+        }
+    }
+
+    /// All index variables used, in first-appearance order.
+    pub fn index_vars(&self) -> Vec<IndexVar> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for a in self.accesses() {
+            for &v in &a.indices {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flatten into a sum of products: `B*c + D*e` becomes
+    /// `[[B, c], [D, e]]`. Constants are dropped into the factor lists.
+    /// Distributes products over sums.
+    pub fn sum_of_products(&self) -> Vec<Vec<Term>> {
+        match self {
+            Expr::Access(a) => vec![vec![Term::Access(a.clone())]],
+            Expr::Const(c) => vec![vec![Term::Const(*c)]],
+            Expr::Add(l, r) => {
+                let mut out = l.sum_of_products();
+                out.extend(r.sum_of_products());
+                out
+            }
+            Expr::Mul(l, r) => {
+                let ls = l.sum_of_products();
+                let rs = r.sum_of_products();
+                let mut out = Vec::new();
+                for lt in &ls {
+                    for rt in &rs {
+                        let mut t = lt.clone();
+                        t.extend(rt.clone());
+                        out.push(t);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One factor of a product term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    Access(Access),
+    Const(f64),
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+/// A TIN statement: `lhs = rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    pub lhs: Access,
+    pub rhs: Expr,
+}
+
+impl Assignment {
+    pub fn new(lhs: Access, rhs: Expr) -> Self {
+        Assignment { lhs, rhs }
+    }
+
+    /// Index variables appearing only on the right-hand side: reductions.
+    pub fn reduction_vars(&self) -> Vec<IndexVar> {
+        let lhs: BTreeSet<IndexVar> = self.lhs.indices.iter().copied().collect();
+        self.rhs
+            .index_vars()
+            .into_iter()
+            .filter(|v| !lhs.contains(v))
+            .collect()
+    }
+
+    /// The default loop order: left-hand-side variables in access order,
+    /// then reduction variables in appearance order.
+    pub fn default_loop_order(&self) -> Vec<IndexVar> {
+        let mut order = self.lhs.indices.clone();
+        for v in self.reduction_vars() {
+            if !order.contains(&v) {
+                order.push(v);
+            }
+        }
+        order
+    }
+
+    /// All tensor names referenced (lhs first).
+    pub fn tensor_names(&self) -> Vec<String> {
+        let mut out = vec![self.lhs.tensor.clone()];
+        for a in self.rhs.accesses() {
+            if !out.contains(&a.tensor) {
+                out.push(a.tensor.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::VarCtx;
+
+    #[test]
+    fn spmv_statement() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        // a(i) = B(i,j) * c(j)
+        let stmt = Assignment::new(
+            Access::new("a", &[i]),
+            Expr::access("B", &[i, j]) * Expr::access("c", &[j]),
+        );
+        assert_eq!(stmt.reduction_vars(), vec![j]);
+        assert_eq!(stmt.default_loop_order(), vec![i, j]);
+        assert_eq!(stmt.tensor_names(), vec!["a", "B", "c"]);
+    }
+
+    #[test]
+    fn spadd3_sum_of_products() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        let rhs = Expr::access("B", &[i, j])
+            + Expr::access("C", &[i, j])
+            + Expr::access("D", &[i, j]);
+        let sop = rhs.sum_of_products();
+        assert_eq!(sop.len(), 3);
+        assert!(sop.iter().all(|t| t.len() == 1));
+    }
+
+    #[test]
+    fn sddmm_factors() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k] = ctx.fresh_n(["i", "j", "k"]);
+        let rhs = Expr::access("B", &[i, j])
+            * Expr::access("C", &[i, k])
+            * Expr::access("D", &[k, j]);
+        let sop = rhs.sum_of_products();
+        assert_eq!(sop.len(), 1);
+        assert_eq!(sop[0].len(), 3);
+        let stmt = Assignment::new(Access::new("A", &[i, j]), rhs);
+        assert_eq!(stmt.reduction_vars(), vec![k]);
+    }
+
+    #[test]
+    fn distributivity() {
+        let mut ctx = VarCtx::new();
+        let i = ctx.fresh("i");
+        // (B + C) * d -> B*d + C*d
+        let rhs = (Expr::access("B", &[i]) + Expr::access("C", &[i])) * Expr::access("d", &[i]);
+        let sop = rhs.sum_of_products();
+        assert_eq!(sop.len(), 2);
+        assert!(sop.iter().all(|t| t.len() == 2));
+    }
+
+    #[test]
+    fn index_vars_dedup_ordered() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k] = ctx.fresh_n(["i", "j", "k"]);
+        let e = Expr::access("B", &[i, j]) * Expr::access("C", &[j, k]);
+        assert_eq!(e.index_vars(), vec![i, j, k]);
+    }
+}

@@ -1,0 +1,505 @@
+//! A reference interpreter for tensor index notation.
+//!
+//! Evaluates any TIN statement whose right-hand side is a sum of products
+//! with at most a handful of sparse factors per product. Each product term
+//! is driven by the pattern of its first sparse factor (or the dense
+//! iteration space if none); remaining unbound reduction variables are
+//! enumerated over their dimension domains. This is semantics-first and
+//! deliberately slow — it is the oracle the compiled distributed plans and
+//! specialized kernels are checked against.
+
+use std::collections::{BTreeMap, HashMap};
+
+use spdistal_sparse::{CooTensor, LevelFormat, SpTensor};
+
+use crate::expr::{Access, Assignment, Term};
+use crate::vars::IndexVar;
+
+/// Interpreter errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    UnknownTensor(String),
+    /// An index variable is used with two different extents.
+    DimMismatch(String),
+    /// Access order does not match tensor order.
+    ArityMismatch(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownTensor(t) => write!(f, "unknown tensor '{t}'"),
+            EvalError::DimMismatch(v) => write!(f, "inconsistent extent for variable '{v}'"),
+            EvalError::ArityMismatch(t) => write!(f, "wrong access arity for tensor '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The sparse evaluation result, keyed by left-hand-side coordinates.
+pub type SparseResult = BTreeMap<Vec<i64>, f64>;
+
+/// Tensor bindings for evaluation.
+pub struct Bindings<'a> {
+    tensors: HashMap<String, &'a SpTensor>,
+}
+
+impl<'a> Bindings<'a> {
+    pub fn new() -> Self {
+        Bindings {
+            tensors: HashMap::new(),
+        }
+    }
+
+    pub fn bind(mut self, name: &str, t: &'a SpTensor) -> Self {
+        self.tensors.insert(name.to_string(), t);
+        self
+    }
+
+    fn get(&self, name: &str) -> Result<&'a SpTensor, EvalError> {
+        self.tensors
+            .get(name)
+            .copied()
+            .ok_or_else(|| EvalError::UnknownTensor(name.to_string()))
+    }
+}
+
+impl Default for Bindings<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Evaluate `stmt` with the given bindings, producing the sparse map of
+/// left-hand-side coordinates to values (zeros omitted).
+pub fn evaluate(stmt: &Assignment, bindings: &Bindings) -> Result<SparseResult, EvalError> {
+    // Infer per-variable extents from all accesses and check consistency.
+    let mut extents: BTreeMap<IndexVar, usize> = BTreeMap::new();
+    let mut all_accesses: Vec<&Access> = stmt.rhs.accesses();
+    all_accesses.push(&stmt.lhs);
+    for a in &all_accesses {
+        // The lhs tensor may be unbound (we produce it); skip extent checks
+        // for it when absent.
+        let Ok(t) = bindings.get(&a.tensor) else {
+            if a.tensor == stmt.lhs.tensor {
+                continue;
+            }
+            return Err(EvalError::UnknownTensor(a.tensor.clone()));
+        };
+        if a.indices.len() != t.order() {
+            return Err(EvalError::ArityMismatch(a.tensor.clone()));
+        }
+        for (k, &v) in a.indices.iter().enumerate() {
+            let d = t.dims()[k];
+            if let Some(prev) = extents.insert(v, d) {
+                if prev != d {
+                    return Err(EvalError::DimMismatch(format!("{v:?}")));
+                }
+            }
+        }
+    }
+
+    // Probe maps for sparse tensors (any tensor with a compressed level).
+    let mut probes: HashMap<String, HashMap<Vec<i64>, f64>> = HashMap::new();
+    let is_sparse = |t: &SpTensor| t.formats().contains(&LevelFormat::Compressed);
+
+    let mut out: SparseResult = BTreeMap::new();
+    for term in stmt.rhs.sum_of_products() {
+        eval_term(stmt, &term, bindings, &extents, &mut probes, is_sparse, &mut out)?;
+    }
+    out.retain(|_, v| *v != 0.0);
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_term(
+    stmt: &Assignment,
+    term: &[Term],
+    bindings: &Bindings,
+    extents: &BTreeMap<IndexVar, usize>,
+    probes: &mut HashMap<String, HashMap<Vec<i64>, f64>>,
+    is_sparse: fn(&SpTensor) -> bool,
+    out: &mut SparseResult,
+) -> Result<(), EvalError> {
+    // Constant factor and accesses of this term.
+    let mut constant = 1.0;
+    let mut accesses: Vec<&Access> = Vec::new();
+    for t in term {
+        match t {
+            Term::Const(c) => constant *= c,
+            Term::Access(a) => accesses.push(a),
+        }
+    }
+
+    // Choose the driver: the first sparse access, else none (dense space).
+    let driver = accesses
+        .iter()
+        .position(|a| bindings.get(&a.tensor).map(is_sparse).unwrap_or(false));
+
+    // Variables of this term, in a deterministic order.
+    let mut term_vars: Vec<IndexVar> = Vec::new();
+    for a in &accesses {
+        for &v in &a.indices {
+            if !term_vars.contains(&v) {
+                term_vars.push(v);
+            }
+        }
+    }
+
+    // Build probe maps for the sparse accesses that are *not* the driver.
+    for (k, a) in accesses.iter().enumerate() {
+        if Some(k) != driver {
+            let t = bindings.get(&a.tensor)?;
+            if is_sparse(t) && !probes.contains_key(&a.tensor) {
+                let map: HashMap<Vec<i64>, f64> = t.to_coo().into_iter().collect();
+                probes.insert(a.tensor.clone(), map);
+            }
+        }
+    }
+
+    let mut binding: BTreeMap<IndexVar, i64> = BTreeMap::new();
+    match driver {
+        Some(d) => {
+            let da = accesses[d];
+            let dt = bindings.get(&da.tensor)?;
+            // Iterate driver pattern; bind its vars; enumerate the rest.
+            let entries = dt.to_coo();
+            for (coord, v) in entries {
+                if v == 0.0 {
+                    continue;
+                }
+                binding.clear();
+                let mut consistent = true;
+                for (k, &var) in da.indices.iter().enumerate() {
+                    if let Some(&prev) = binding.get(&var) {
+                        if prev != coord[k] {
+                            consistent = false;
+                            break;
+                        }
+                    } else {
+                        binding.insert(var, coord[k]);
+                    }
+                }
+                if !consistent {
+                    continue;
+                }
+                let unbound: Vec<IndexVar> = term_vars
+                    .iter()
+                    .copied()
+                    .filter(|x| !binding.contains_key(x))
+                    .collect();
+                enumerate_unbound(
+                    stmt, &accesses, d, v * constant, &unbound, 0, &mut binding, bindings,
+                    extents, probes, out,
+                )?;
+            }
+        }
+        None => {
+            // All-dense term: enumerate the full space.
+            let unbound = term_vars.clone();
+            enumerate_unbound(
+                stmt, &accesses, usize::MAX, constant, &unbound, 0, &mut binding, bindings,
+                extents, probes, out,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_unbound(
+    stmt: &Assignment,
+    accesses: &[&Access],
+    driver: usize,
+    partial: f64,
+    unbound: &[IndexVar],
+    k: usize,
+    binding: &mut BTreeMap<IndexVar, i64>,
+    bindings: &Bindings,
+    extents: &BTreeMap<IndexVar, usize>,
+    probes: &HashMap<String, HashMap<Vec<i64>, f64>>,
+    out: &mut SparseResult,
+) -> Result<(), EvalError> {
+    if k == unbound.len() {
+        // All variables bound: multiply the non-driver factors.
+        let mut val = partial;
+        for (idx, a) in accesses.iter().enumerate() {
+            if idx == driver {
+                continue;
+            }
+            let coord: Vec<i64> = a.indices.iter().map(|v| binding[v]).collect();
+            let t = bindings.get(&a.tensor)?;
+            let f = match probes.get(&a.tensor) {
+                Some(map) => map.get(&coord).copied().unwrap_or(0.0),
+                None => dense_lookup(t, &coord),
+            };
+            if f == 0.0 {
+                return Ok(());
+            }
+            val *= f;
+        }
+        let lhs_coord: Vec<i64> = stmt.lhs.indices.iter().map(|v| binding[v]).collect();
+        *out.entry(lhs_coord).or_insert(0.0) += val;
+        return Ok(());
+    }
+    let var = unbound[k];
+    let extent = *extents
+        .get(&var)
+        .ok_or_else(|| EvalError::DimMismatch(format!("{var:?}")))?;
+    for c in 0..extent as i64 {
+        binding.insert(var, c);
+        enumerate_unbound(
+            stmt, accesses, driver, partial, unbound, k + 1, binding, bindings, extents,
+            probes, out,
+        )?;
+    }
+    binding.remove(&var);
+    Ok(())
+}
+
+fn dense_lookup(t: &SpTensor, coord: &[i64]) -> f64 {
+    let mut idx = 0usize;
+    for (k, &c) in coord.iter().enumerate() {
+        idx = idx * t.dims()[k] + c as usize;
+    }
+    t.vals()[idx]
+}
+
+/// Convert a sparse result into a dense row-major buffer over the given
+/// extents.
+pub fn result_to_dense(result: &SparseResult, dims: &[usize]) -> Vec<f64> {
+    let total: usize = dims.iter().product();
+    let mut out = vec![0.0; total];
+    for (coord, v) in result {
+        let mut idx = 0usize;
+        for (k, &c) in coord.iter().enumerate() {
+            idx = idx * dims[k] + c as usize;
+        }
+        out[idx] = *v;
+    }
+    out
+}
+
+/// Convert a sparse result into an [`SpTensor`] with the given formats.
+pub fn result_to_tensor(
+    result: &SparseResult,
+    dims: &[usize],
+    formats: &[LevelFormat],
+) -> SpTensor {
+    let mut coo = CooTensor::new(dims.to_vec());
+    for (coord, v) in result {
+        coo.push(coord, *v);
+    }
+    coo.build(formats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::vars::VarCtx;
+    use spdistal_sparse::reference;
+    use spdistal_sparse::{csr_from_triplets, dense_matrix, dense_vector, generate};
+
+    #[test]
+    fn spmv_matches_reference() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        let b = generate::uniform(30, 20, 120, 1);
+        let cv = generate::dense_vec(20, 2);
+        let c = dense_vector(cv.clone());
+        let stmt = Assignment::new(
+            Access::new("a", &[i]),
+            Expr::access("B", &[i, j]) * Expr::access("c", &[j]),
+        );
+        let out = evaluate(&stmt, &Bindings::new().bind("B", &b).bind("c", &c)).unwrap();
+        let dense = result_to_dense(&out, &[30]);
+        assert!(reference::approx_eq(&dense, &reference::spmv(&b, &cv), 1e-12));
+    }
+
+    #[test]
+    fn spmm_matches_reference() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k] = ctx.fresh_n(["i", "j", "k"]);
+        let b = generate::uniform(15, 10, 60, 3);
+        let cbuf = generate::dense_buffer(10, 8, 4);
+        let c = dense_matrix(10, 8, cbuf.clone());
+        let stmt = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B", &[i, k]) * Expr::access("C", &[k, j]),
+        );
+        let out = evaluate(&stmt, &Bindings::new().bind("B", &b).bind("C", &c)).unwrap();
+        let dense = result_to_dense(&out, &[15, 8]);
+        assert!(reference::approx_eq(
+            &dense,
+            &reference::spmm(&b, &cbuf, 8),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn spadd3_matches_reference() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        let b = generate::uniform(12, 12, 40, 5);
+        let c = generate::shift_last_dim(&b, 1);
+        let d = generate::shift_last_dim(&b, 2);
+        let stmt = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B", &[i, j]) + Expr::access("C", &[i, j]) + Expr::access("D", &[i, j]),
+        );
+        let out = evaluate(
+            &stmt,
+            &Bindings::new().bind("B", &b).bind("C", &c).bind("D", &d),
+        )
+        .unwrap();
+        let got = result_to_tensor(&out, &[12, 12], &generate::CSR);
+        let expect = reference::spadd3(&b, &c, &d);
+        assert!(reference::tensors_approx_eq(&got, &expect, 1e-12));
+    }
+
+    #[test]
+    fn sddmm_matches_reference() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k] = ctx.fresh_n(["i", "j", "k"]);
+        let b = generate::uniform(10, 14, 50, 6);
+        let cbuf = generate::dense_buffer(10, 4, 7);
+        let dbuf = generate::dense_buffer(4, 14, 8);
+        let c = dense_matrix(10, 4, cbuf.clone());
+        let d = dense_matrix(4, 14, dbuf.clone());
+        let stmt = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B", &[i, j]) * Expr::access("C", &[i, k]) * Expr::access("D", &[k, j]),
+        );
+        let out = evaluate(
+            &stmt,
+            &Bindings::new().bind("B", &b).bind("C", &c).bind("D", &d),
+        )
+        .unwrap();
+        let expect = reference::sddmm(&b, &cbuf, &dbuf, 4);
+        let got = result_to_tensor(&out, &[10, 14], &generate::CSR);
+        // SDDMM zeros stay in the reference pattern but drop from the
+        // interpreter's sparse map; compare via dense buffers.
+        assert!(reference::approx_eq(
+            &result_to_dense(&out, &[10, 14]),
+            &spdistal_sparse::convert::to_dense(&expect),
+            1e-12
+        ));
+        assert!(got.nnz() <= expect.num_stored());
+    }
+
+    #[test]
+    fn spttv_matches_reference() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k] = ctx.fresh_n(["i", "j", "k"]);
+        let b = generate::tensor3_uniform([8, 9, 10], 80, 9);
+        let cv = generate::dense_vec(10, 10);
+        let c = dense_vector(cv.clone());
+        let stmt = Assignment::new(
+            Access::new("A", &[i, j]),
+            Expr::access("B", &[i, j, k]) * Expr::access("c", &[k]),
+        );
+        let out = evaluate(&stmt, &Bindings::new().bind("B", &b).bind("c", &c)).unwrap();
+        let expect = reference::spttv(&b, &cv);
+        assert!(reference::approx_eq(
+            &result_to_dense(&out, &[8, 9]),
+            &spdistal_sparse::convert::to_dense(&expect),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn spmttkrp_matches_reference() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k, l] = ctx.fresh_n(["i", "j", "k", "l"]);
+        let b = generate::tensor3_uniform([6, 7, 8], 60, 11);
+        let cbuf = generate::dense_buffer(7, 3, 12);
+        let dbuf = generate::dense_buffer(8, 3, 13);
+        let c = dense_matrix(7, 3, cbuf.clone());
+        let d = dense_matrix(8, 3, dbuf.clone());
+        let stmt = Assignment::new(
+            Access::new("A", &[i, l]),
+            Expr::access("B", &[i, j, k])
+                * Expr::access("C", &[j, l])
+                * Expr::access("D", &[k, l]),
+        );
+        let out = evaluate(
+            &stmt,
+            &Bindings::new().bind("B", &b).bind("C", &c).bind("D", &d),
+        )
+        .unwrap();
+        assert!(reference::approx_eq(
+            &result_to_dense(&out, &[6, 3]),
+            &reference::spmttkrp(&b, &cbuf, &dbuf, 3),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn unknown_tensor_error() {
+        let mut ctx = VarCtx::new();
+        let i = ctx.fresh("i");
+        let stmt = Assignment::new(Access::new("a", &[i]), Expr::access("Z", &[i]));
+        assert_eq!(
+            evaluate(&stmt, &Bindings::new()),
+            Err(EvalError::UnknownTensor("Z".to_string()))
+        );
+    }
+
+    #[test]
+    fn dim_mismatch_error() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        let b = generate::uniform(5, 6, 10, 1);
+        let c = dense_vector(vec![1.0; 7]); // wrong extent for j
+        let stmt = Assignment::new(
+            Access::new("a", &[i]),
+            Expr::access("B", &[i, j]) * Expr::access("c", &[j]),
+        );
+        assert!(matches!(
+            evaluate(&stmt, &Bindings::new().bind("B", &b).bind("c", &c)),
+            Err(EvalError::DimMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_error() {
+        let mut ctx = VarCtx::new();
+        let [i, j, k] = ctx.fresh_n(["i", "j", "k"]);
+        let b = generate::uniform(5, 6, 10, 1);
+        let stmt = Assignment::new(
+            Access::new("a", &[i]),
+            Expr::access("B", &[i, j, k]), // B is a matrix
+        );
+        assert!(matches!(
+            evaluate(&stmt, &Bindings::new().bind("B", &b)),
+            Err(EvalError::ArityMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn diagonal_access_consistent() {
+        // a(i) = B(i,i): driver binds i twice; off-diagonal entries skipped.
+        let mut ctx = VarCtx::new();
+        let i = ctx.fresh("i");
+        let b = csr_from_triplets(3, 3, &[(0, 0, 5.0), (0, 1, 9.0), (2, 2, 7.0)]);
+        let stmt = Assignment::new(Access::new("a", &[i]), Expr::access("B", &[i, i]));
+        let out = evaluate(&stmt, &Bindings::new().bind("B", &b)).unwrap();
+        assert_eq!(result_to_dense(&out, &[3]), vec![5.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn constant_scaling() {
+        let mut ctx = VarCtx::new();
+        let i = ctx.fresh("i");
+        let b = csr_from_triplets(2, 1, &[(0, 0, 3.0), (1, 0, 4.0)]);
+        let j = ctx.fresh("j");
+        let stmt = Assignment::new(
+            Access::new("a", &[i]),
+            Expr::Const(2.0) * Expr::access("B", &[i, j]),
+        );
+        let out = evaluate(&stmt, &Bindings::new().bind("B", &b)).unwrap();
+        assert_eq!(result_to_dense(&out, &[2]), vec![6.0, 8.0]);
+    }
+}

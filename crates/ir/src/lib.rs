@@ -1,0 +1,37 @@
+//! # spdistal-ir — the compiler front and middle end
+//!
+//! The three input sub-languages of SpDISTAL's programming model
+//! (Section II of the paper), plus lowering to a loop IR:
+//!
+//! * **Computation language** ([`expr`]): tensor index notation — accesses,
+//!   multiplication, addition, assignment.
+//! * **Format language** ([`format`], [`tdn`]): per-dimension level formats
+//!   combined with tensor distribution notation, extended with non-zero
+//!   partitions (`~`) and coordinate fusion.
+//! * **Scheduling language** ([`schedule`], [`vars`]): TACO's sparse
+//!   iteration-space transformations (`divide`, `fuse`, `pos`, `reorder`,
+//!   `parallelize`) combined with DISTAL's `distribute` and `communicate`.
+//!
+//! [`lower`] turns a scheduled statement into a [`loop_ir::LoopNest`] that
+//! the partitioning code generator (crate `spdistal`) walks, and [`interp`]
+//! provides a semantics-first evaluator used as a correctness oracle.
+
+pub mod expr;
+pub mod format;
+pub mod interp;
+pub mod loop_ir;
+pub mod lower;
+pub mod parse;
+pub mod schedule;
+pub mod tdn;
+pub mod vars;
+
+pub use expr::{Access, Assignment, Expr, Term};
+pub use format::Format;
+pub use interp::{evaluate, result_to_dense, result_to_tensor, Bindings, EvalError};
+pub use loop_ir::{IterKind, LoopLevel, LoopNest};
+pub use lower::lower;
+pub use parse::{parse_tin, parse_tin_with_vars, ParseError};
+pub use schedule::{ParallelUnit, SchedCmd, SchedError, Schedule};
+pub use tdn::{DistSpec, Distribution, TdnError, TdnStatement};
+pub use vars::{Derivation, IndexVar, VarCtx};

@@ -1,0 +1,298 @@
+//! A text front-end for tensor index notation.
+//!
+//! The paper writes computations as `a(i) = B(i,j) * c(j)`; this module
+//! parses exactly that concrete syntax into an [`Assignment`], creating
+//! index variables in a [`VarCtx`] on first use. Grammar:
+//!
+//! ```text
+//! stmt   := access '=' expr
+//! expr   := term ('+' term)*
+//! term   := factor ('*' factor)*
+//! factor := access | number | '(' expr ')'
+//! access := ident '(' ident (',' ident)* ')'
+//! ```
+
+use std::collections::HashMap;
+
+use crate::expr::{Access, Assignment, Expr};
+use crate::vars::{IndexVar, VarCtx};
+
+/// TIN parse errors with byte positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TIN parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    vars: &'a mut VarCtx,
+    names: HashMap<String, IndexVar>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected identifier");
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .to_string())
+    }
+
+    fn var(&mut self, name: &str) -> IndexVar {
+        if let Some(&v) = self.names.get(name) {
+            v
+        } else {
+            let v = self.vars.fresh(name);
+            self.names.insert(name.to_string(), v);
+            v
+        }
+    }
+
+    fn access(&mut self) -> Result<Access, ParseError> {
+        let tensor = self.ident()?;
+        self.eat(b'(')?;
+        let mut indices = Vec::new();
+        loop {
+            let name = self.ident()?;
+            indices.push(self.var(&name));
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected ',' or ')'"),
+            }
+        }
+        Ok(Access { tensor, indices })
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || *c == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected number");
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| ParseError {
+                pos: start,
+                message: "bad number".into(),
+            })
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat(b')')?;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() => Ok(Expr::Const(self.number()?)),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                Ok(Expr::Access(self.access()?))
+            }
+            _ => self.err("expected access, number or '('"),
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        while self.peek() == Some(b'*') {
+            self.pos += 1;
+            e = e * self.factor()?;
+        }
+        Ok(e)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        while self.peek() == Some(b'+') {
+            self.pos += 1;
+            e = e + self.term()?;
+        }
+        Ok(e)
+    }
+
+    fn stmt(&mut self) -> Result<Assignment, ParseError> {
+        let lhs = self.access()?;
+        self.eat(b'=')?;
+        let rhs = self.expr()?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return self.err("trailing input");
+        }
+        Ok(Assignment { lhs, rhs })
+    }
+}
+
+/// Parse a TIN statement, creating index variables in `vars` on first use.
+/// Variables with the same name refer to the same [`IndexVar`].
+pub fn parse_tin(input: &str, vars: &mut VarCtx) -> Result<Assignment, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        vars,
+        names: HashMap::new(),
+    };
+    p.stmt()
+}
+
+/// Parse, also returning the name → variable mapping (useful for building
+/// schedules over the parsed statement).
+pub fn parse_tin_with_vars(
+    input: &str,
+    vars: &mut VarCtx,
+) -> Result<(Assignment, HashMap<String, IndexVar>), ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        vars,
+        names: HashMap::new(),
+    };
+    let stmt = p.stmt()?;
+    Ok((stmt, p.names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Term;
+
+    #[test]
+    fn parses_all_six_kernels() {
+        for (src, n_terms, n_factors) in [
+            ("a(i) = B(i,j) * c(j)", 1, 2),
+            ("A(i,j) = B(i,k) * C(k,j)", 1, 2),
+            ("A(i,j) = B(i,j) + C(i,j) + D(i,j)", 3, 1),
+            ("A(i,j) = B(i,j) * C(i,k) * D(k,j)", 1, 3),
+            ("A(i,j) = B(i,j,k) * c(k)", 1, 2),
+            ("A(i,l) = B(i,j,k) * C(j,l) * D(k,l)", 1, 3),
+        ] {
+            let mut vars = VarCtx::new();
+            let stmt = parse_tin(src, &mut vars).unwrap_or_else(|e| panic!("{src}: {e}"));
+            let sop = stmt.rhs.sum_of_products();
+            assert_eq!(sop.len(), n_terms, "{src}");
+            assert!(sop.iter().all(|t| t.len() == n_factors), "{src}");
+        }
+    }
+
+    #[test]
+    fn shared_names_share_vars() {
+        let mut vars = VarCtx::new();
+        let (stmt, names) = parse_tin_with_vars("a(i) = B(i,j) * c(j)", &mut vars).unwrap();
+        assert_eq!(stmt.lhs.indices[0], names["i"]);
+        let accesses = stmt.rhs.accesses();
+        assert_eq!(accesses[0].indices, vec![names["i"], names["j"]]);
+        assert_eq!(accesses[1].indices, vec![names["j"]]);
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn constants_and_parens() {
+        let mut vars = VarCtx::new();
+        let stmt = parse_tin("a(i) = 2.5 * (B(i,j) + C(i,j)) * c(j)", &mut vars).unwrap();
+        let sop = stmt.rhs.sum_of_products();
+        // Distributes into two products, each with const, access, access.
+        assert_eq!(sop.len(), 2);
+        assert!(sop[0]
+            .iter()
+            .any(|t| matches!(t, Term::Const(c) if *c == 2.5)));
+    }
+
+    #[test]
+    fn equals_parsed_statement_built_manually() {
+        let mut vars = VarCtx::new();
+        let stmt = parse_tin("a(i) = B(i,j) * c(j)", &mut vars).unwrap();
+        let mut vars2 = VarCtx::new();
+        let [i, j] = vars2.fresh_n(["i", "j"]);
+        let manual = Assignment::new(
+            Access::new("a", &[i]),
+            Expr::access("B", &[i, j]) * Expr::access("c", &[j]),
+        );
+        assert_eq!(stmt, manual);
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let mut vars = VarCtx::new();
+        for bad in [
+            "a(i)",
+            "a(i) = ",
+            "a(i) = B(i,j) *",
+            "a(i) = B(i,j4",
+            "(i) = B(i)",
+            "a(i) = B(i,j) extra",
+            "a() = B(i)",
+        ] {
+            assert!(parse_tin(bad, &mut vars).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let mut v1 = VarCtx::new();
+        let mut v2 = VarCtx::new();
+        let a = parse_tin("A(i,l)=B(i,j,k)*C(j,l)*D(k,l)", &mut v1).unwrap();
+        let b = parse_tin("  A( i , l ) = B(i, j, k) * C(j , l) * D(k, l)  ", &mut v2).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,201 @@
+//! Index variables and their derivation provenance.
+//!
+//! Scheduling transformations derive new index variables from existing ones
+//! (`divide` splits `i` into `io`/`ii`; `fuse` collapses `i`,`j` into `f`;
+//! the position transform moves a variable from coordinate space into the
+//! position space of a tensor's non-zeros). The code generation algorithm
+//! (Figure 9a) dispatches on this provenance: distributed coordinate-space
+//! loops get *universe* partitions, distributed position-space loops get
+//! *non-zero* partitions.
+
+use std::fmt;
+
+/// An opaque index variable handle. Names and provenance live in [`VarCtx`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexVar(pub u32);
+
+impl fmt::Debug for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iv{}", self.0)
+    }
+}
+
+/// How a variable came to exist.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Derivation {
+    /// Declared directly in the tensor index notation statement.
+    Free,
+    /// Outer result of `divide(parent, outer, inner, pieces)`: ranges over
+    /// `[0, pieces)`.
+    DivideOuter {
+        parent: IndexVar,
+        inner: IndexVar,
+        pieces: usize,
+    },
+    /// Inner result of `divide`: ranges over one block of the parent.
+    DivideInner {
+        parent: IndexVar,
+        outer: IndexVar,
+        pieces: usize,
+    },
+    /// Result of `fuse(a, b)`: iterates the flattened `(a, b)` space.
+    Fused { a: IndexVar, b: IndexVar },
+    /// Result of the position transform: iterates positions of the non-zero
+    /// coordinates of `tensor` instead of coordinate values.
+    Pos { parent: IndexVar, tensor: String },
+}
+
+/// Registry of index variables: name + derivation per variable.
+#[derive(Clone, Debug, Default)]
+pub struct VarCtx {
+    names: Vec<String>,
+    derivations: Vec<Derivation>,
+}
+
+impl VarCtx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a fresh free variable.
+    pub fn fresh(&mut self, name: &str) -> IndexVar {
+        self.add(name, Derivation::Free)
+    }
+
+    /// Declare several fresh free variables at once.
+    pub fn fresh_n<const N: usize>(&mut self, names: [&str; N]) -> [IndexVar; N] {
+        names.map(|n| self.fresh(n))
+    }
+
+    pub(crate) fn add(&mut self, name: &str, derivation: Derivation) -> IndexVar {
+        let v = IndexVar(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.derivations.push(derivation);
+        v
+    }
+
+    /// Record a derivation for an already-created variable (used by the
+    /// scheduling commands, which create result variables up front).
+    pub(crate) fn set_derivation(&mut self, v: IndexVar, d: Derivation) {
+        self.derivations[v.0 as usize] = d;
+    }
+
+    pub fn name(&self, v: IndexVar) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    pub fn derivation(&self, v: IndexVar) -> &Derivation {
+        &self.derivations[v.0 as usize]
+    }
+
+    pub fn contains(&self, v: IndexVar) -> bool {
+        (v.0 as usize) < self.names.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Walk up the derivation chain to the free variables this one derives
+    /// from, in left-to-right order.
+    pub fn roots(&self, v: IndexVar) -> Vec<IndexVar> {
+        match self.derivation(v) {
+            Derivation::Free => vec![v],
+            Derivation::DivideOuter { parent, .. }
+            | Derivation::DivideInner { parent, .. }
+            | Derivation::Pos { parent, .. } => self.roots(*parent),
+            Derivation::Fused { a, b } => {
+                let mut r = self.roots(*a);
+                r.extend(self.roots(*b));
+                r
+            }
+        }
+    }
+
+    /// True iff `v` (or an ancestor) is in position space.
+    pub fn is_position_space(&self, v: IndexVar) -> bool {
+        match self.derivation(v) {
+            Derivation::Free => false,
+            Derivation::Pos { .. } => true,
+            Derivation::DivideOuter { parent, .. }
+            | Derivation::DivideInner { parent, .. } => self.is_position_space(*parent),
+            Derivation::Fused { a, b } => {
+                self.is_position_space(*a) || self.is_position_space(*b)
+            }
+        }
+    }
+
+    /// The tensor whose position space `v` iterates, if any.
+    pub fn position_tensor(&self, v: IndexVar) -> Option<&str> {
+        match self.derivation(v) {
+            Derivation::Free => None,
+            Derivation::Pos { tensor, .. } => Some(tensor),
+            Derivation::DivideOuter { parent, .. }
+            | Derivation::DivideInner { parent, .. } => self.position_tensor(*parent),
+            Derivation::Fused { a, b } => {
+                self.position_tensor(*a).or_else(|| self.position_tensor(*b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_distinct() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        assert_ne!(i, j);
+        assert_eq!(ctx.name(i), "i");
+        assert_eq!(ctx.name(j), "j");
+        assert_eq!(*ctx.derivation(i), Derivation::Free);
+    }
+
+    #[test]
+    fn roots_through_derivations() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        let f = ctx.add("f", Derivation::Fused { a: i, b: j });
+        let fo = ctx.add(
+            "fo",
+            Derivation::DivideOuter {
+                parent: f,
+                inner: IndexVar(99),
+                pieces: 4,
+            },
+        );
+        assert_eq!(ctx.roots(fo), vec![i, j]);
+        assert_eq!(ctx.roots(i), vec![i]);
+    }
+
+    #[test]
+    fn position_space_propagates() {
+        let mut ctx = VarCtx::new();
+        let i = ctx.fresh("i");
+        let p = ctx.add(
+            "ipos",
+            Derivation::Pos {
+                parent: i,
+                tensor: "B".to_string(),
+            },
+        );
+        let po = ctx.add(
+            "po",
+            Derivation::DivideOuter {
+                parent: p,
+                inner: IndexVar(99),
+                pieces: 2,
+            },
+        );
+        assert!(!ctx.is_position_space(i));
+        assert!(ctx.is_position_space(p));
+        assert!(ctx.is_position_space(po));
+        assert_eq!(ctx.position_tensor(po), Some("B"));
+    }
+}

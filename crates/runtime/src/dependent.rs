@@ -1,0 +1,245 @@
+//! Dependent partitioning: the `image` and `preimage` operators of
+//! Treichler et al. (OOPSLA 2016), as used by SpDISTAL to relate partitions
+//! of the `pos` and `crd` regions of compressed tensor levels (Section III-A,
+//! Figure 6 of the paper).
+//!
+//! A *source* region holds values that name indices of a *destination*
+//! region. Two value types occur in SpDISTAL's tensors:
+//!
+//! * `pos` regions hold **intervals** ([`Rect1`]) into `crd`/`vals`;
+//! * `crd` regions hold **coordinates** (single points) into the coordinate
+//!   space of their dimension.
+//!
+//! `image` pushes a partition of the source forward through the pointers
+//! (color every destination a source points at with the source's color);
+//! `preimage` pulls a partition of the destination back (color every source
+//! that points into a colored destination subset).
+
+use crate::geometry::{IntervalSet, Rect1};
+use crate::partition::Partition;
+
+/// `image(S, P_S, D)` for an interval-valued source region.
+///
+/// For each color `c` and each source index `i ∈ P_S[c]`, the destination
+/// indices `S[i] = [lo, hi]` are added to color `c` of the result. The
+/// result partitions the destination region of length `dst_len`.
+pub fn image_rects(src: &[Rect1], src_part: &Partition, dst_len: u64) -> Partition {
+    let mut subsets = Vec::with_capacity(src_part.num_colors());
+    for c in 0..src_part.num_colors() {
+        let mut rects = Vec::new();
+        for i in src_part.subset(c).iter_points() {
+            let r = src[i as usize];
+            if !r.is_empty() {
+                rects.push(r);
+            }
+        }
+        subsets.push(IntervalSet::from_rects(rects));
+    }
+    clamp(Partition::new(dst_len, subsets))
+}
+
+/// `image(S, P_S, D)` for a coordinate-valued source region (e.g. pushing a
+/// partition of `crd` positions forward onto the coordinate space of the
+/// dimension the coordinates live in).
+pub fn image_coords(src: &[i64], src_part: &Partition, dst_len: u64) -> Partition {
+    let mut subsets = Vec::with_capacity(src_part.num_colors());
+    for c in 0..src_part.num_colors() {
+        let mut rects = Vec::new();
+        for i in src_part.subset(c).iter_points() {
+            let v = src[i as usize];
+            rects.push(Rect1::new(v, v));
+        }
+        subsets.push(IntervalSet::from_rects(rects));
+    }
+    clamp(Partition::new(dst_len, subsets))
+}
+
+/// `preimage(S, P_D, D)` for an interval-valued source region.
+///
+/// For each color `c`, every source index `i` whose interval `S[i]` overlaps
+/// `P_D[c]` is added to color `c`. Sources referenced by several colors are
+/// aliased — the runtime keeps the shared copies coherent (Figure 6b).
+pub fn preimage_rects(src: &[Rect1], dst_part: &Partition) -> Partition {
+    let mut subsets = Vec::with_capacity(dst_part.num_colors());
+    for c in 0..dst_part.num_colors() {
+        let target = dst_part.subset(c);
+        let mut rects = Vec::new();
+        if !target.is_empty() {
+            for (i, r) in src.iter().enumerate() {
+                if !r.is_empty() && overlaps_set(r, target) {
+                    rects.push(Rect1::new(i as i64, i as i64));
+                }
+            }
+        }
+        subsets.push(IntervalSet::from_rects(rects));
+    }
+    Partition::new(src.len() as u64, subsets)
+}
+
+/// `preimage` for a coordinate-valued source region: color every source
+/// position whose coordinate value lies in the destination subset.
+pub fn preimage_coords(src: &[i64], dst_part: &Partition) -> Partition {
+    let mut subsets = Vec::with_capacity(dst_part.num_colors());
+    for c in 0..dst_part.num_colors() {
+        let target = dst_part.subset(c);
+        let mut rects = Vec::new();
+        if !target.is_empty() {
+            let mut run_start: Option<i64> = None;
+            for (i, v) in src.iter().enumerate() {
+                if target.contains(*v) {
+                    if run_start.is_none() {
+                        run_start = Some(i as i64);
+                    }
+                } else if let Some(s) = run_start.take() {
+                    rects.push(Rect1::new(s, i as i64 - 1));
+                }
+            }
+            if let Some(s) = run_start {
+                rects.push(Rect1::new(s, src.len() as i64 - 1));
+            }
+        }
+        subsets.push(IntervalSet::from_rects(rects));
+    }
+    Partition::new(src.len() as u64, subsets)
+}
+
+fn overlaps_set(r: &Rect1, s: &IntervalSet) -> bool {
+    s.rects().iter().any(|x| x.overlaps(r))
+}
+
+fn clamp(p: Partition) -> Partition {
+    let bound = IntervalSet::from_rect(Rect1::new(0, p.parent_len() as i64 - 1));
+    let n = p.parent_len();
+    let subsets = p
+        .subsets()
+        .iter()
+        .map(|s| s.intersect(&bound))
+        .collect();
+    Partition::new(n, subsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pos/crd pair from Figure 7 of the paper (a 4x4 CSR matrix with
+    /// rows {a b c | d e | f | g h} and 8 non-zeros).
+    fn fig7_pos() -> Vec<Rect1> {
+        vec![
+            Rect1::new(0, 2),
+            Rect1::new(3, 4),
+            Rect1::new(5, 5),
+            Rect1::new(6, 7),
+        ]
+    }
+
+    fn fig7_crd() -> Vec<i64> {
+        vec![0, 1, 3, 1, 3, 0, 0, 3]
+    }
+
+    #[test]
+    fn image_of_pos_partition_matches_fig9c() {
+        // Universe partition of rows into 2 pieces: {0,1}, {2,3}.
+        let row_part = Partition::equal(4, 2);
+        let crd_part = image_rects(&fig7_pos(), &row_part, 8);
+        // Rows 0-1 own crd positions 0..=4; rows 2-3 own 5..=7.
+        assert_eq!(
+            crd_part.subset(0).rects(),
+            &[Rect1::new(0, 4)]
+        );
+        assert_eq!(
+            crd_part.subset(1).rects(),
+            &[Rect1::new(5, 7)]
+        );
+        assert!(crd_part.is_disjoint() && crd_part.is_complete());
+    }
+
+    #[test]
+    fn preimage_recovers_pos_partition_fig9d() {
+        // Non-zero partition of crd into 2 equal pieces: [0,3], [4,7].
+        let crd_part = Partition::equal(8, 2);
+        let pos_part = preimage_rects(&fig7_pos(), &crd_part);
+        // pos[1] = [3,4] straddles both pieces -> aliased (both colors).
+        assert!(pos_part.subset(0).contains(0));
+        assert!(pos_part.subset(0).contains(1));
+        assert!(pos_part.subset(1).contains(1));
+        assert!(pos_part.subset(1).contains(2));
+        assert!(pos_part.subset(1).contains(3));
+        assert!(!pos_part.is_disjoint());
+        assert!(pos_part.is_complete());
+    }
+
+    #[test]
+    fn image_preimage_adjoint_on_covering_partitions() {
+        // image(P) then preimage recovers at least P (adjointness).
+        let pos = fig7_pos();
+        let p = Partition::equal(4, 3);
+        let img = image_rects(&pos, &p, 8);
+        let back = preimage_rects(&pos, &img);
+        for c in 0..3 {
+            assert!(
+                back.subset(c).contains_set(p.subset(c)),
+                "color {c}: {:?} should contain {:?}",
+                back.subset(c),
+                p.subset(c)
+            );
+        }
+    }
+
+    #[test]
+    fn image_skips_empty_rows() {
+        // Row 1 is empty: pos[1] = empty interval.
+        let pos = vec![Rect1::new(0, 1), Rect1::empty(), Rect1::new(2, 3)];
+        let p = Partition::equal(3, 3);
+        let img = image_rects(&pos, &p, 4);
+        assert_eq!(img.subset(0).total_len(), 2);
+        assert!(img.subset(1).is_empty());
+        assert_eq!(img.subset(2).total_len(), 2);
+    }
+
+    #[test]
+    fn image_coords_projects_to_dimension() {
+        let crd = fig7_crd();
+        let crd_part = Partition::equal(8, 2);
+        // Columns referenced by each half of the non-zeros.
+        let col_part = image_coords(&crd, &crd_part, 4);
+        let c0: Vec<i64> = col_part.subset(0).iter_points().collect();
+        let c1: Vec<i64> = col_part.subset(1).iter_points().collect();
+        assert_eq!(c0, vec![0, 1, 3]);
+        assert_eq!(c1, vec![0, 3]);
+    }
+
+    #[test]
+    fn preimage_coords_buckets_runs() {
+        let crd = fig7_crd();
+        // Partition columns into [0,1] and [2,3].
+        let col_part = Partition::by_bounds(4, vec![Rect1::new(0, 1), Rect1::new(2, 3)]);
+        let pos_part = preimage_coords(&crd, &col_part);
+        let c0: Vec<i64> = pos_part.subset(0).iter_points().collect();
+        let c1: Vec<i64> = pos_part.subset(1).iter_points().collect();
+        assert_eq!(c0, vec![0, 1, 3, 5, 6]);
+        assert_eq!(c1, vec![2, 4, 7]);
+    }
+
+    #[test]
+    fn figure6_example() {
+        // Figure 6: source region of index spaces {0,2},{3,4},{5,5},{6,8}
+        // over a destination of 9 elements.
+        let src = vec![
+            Rect1::new(0, 2),
+            Rect1::new(3, 4),
+            Rect1::new(5, 5),
+            Rect1::new(6, 8),
+        ];
+        // Color source as {0,1} red, {2,3} blue.
+        let sp = Partition::equal(4, 2);
+        let img = image_rects(&src, &sp, 9);
+        assert_eq!(img.subset(0).rects(), &[Rect1::new(0, 4)]);
+        assert_eq!(img.subset(1).rects(), &[Rect1::new(5, 8)]);
+        // Color destination equally and pull back.
+        let dp = Partition::equal(9, 2); // [0,4],[5,8]
+        let pre = preimage_rects(&src, &dp);
+        assert_eq!(pre.subset(0).rects(), &[Rect1::new(0, 1)]);
+        assert_eq!(pre.subset(1).rects(), &[Rect1::new(2, 3)]);
+    }
+}

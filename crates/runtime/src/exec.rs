@@ -1,0 +1,617 @@
+//! The runtime core: region registry, instance coherence, and the
+//! discrete-event execution model.
+//!
+//! The simulator plays the role Legion plays for SpDISTAL. The compiler
+//! (crate `spdistal`) creates regions and partitions, then issues *index
+//! launches* — one point task per color of a distributed loop. The runtime:
+//!
+//! 1. tracks, per logical region, which intervals are *valid* in each
+//!    processor's memory (the coherence state Legion maintains for physical
+//!    instances);
+//! 2. infers communication: a task reading a subset that is not valid in its
+//!    processor's memory pays `latency × messages + bytes / bandwidth` on the
+//!    link from a source copy, and the bytes become resident (possibly
+//!    exceeding a GPU's capacity → [`RuntimeError::Oom`]);
+//! 3. advances a per-processor clock. Tasks of one index launch run
+//!    concurrently across processors; Legion's deferred execution is modeled
+//!    by *not* synchronizing processors between launches — each processor's
+//!    timeline advances independently, and only true data movement couples
+//!    them. Bulk-synchronous baselines (PETSc/Trilinos/CTF-like) instead
+//!    call [`Runtime::barrier`] between phases.
+//!
+//! The model reports *simulated* time; the real kernels execute separately
+//! (in crate `spdistal`) for correctness, and their operation counts feed
+//! [`crate::task::TaskSpec::ops`].
+
+use std::collections::HashMap;
+
+use crate::geometry::IntervalSet;
+use crate::machine::Machine;
+use crate::task::{Privilege, RegionId, RegionReq, TaskSpec};
+
+/// Metadata for a logical region.
+#[derive(Clone, Debug)]
+pub struct RegionMeta {
+    pub name: String,
+    pub len: u64,
+    pub elem_bytes: u64,
+}
+
+/// Errors surfaced by the execution model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeError {
+    /// A processor's memory capacity was exceeded. Maps to the "DNC" cells
+    /// of Figure 11.
+    Oom {
+        proc: usize,
+        region: String,
+        resident: u64,
+        requested: u64,
+        capacity: u64,
+    },
+    /// A task named a processor outside the machine grid.
+    BadProc { proc: usize, num_procs: usize },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Oom {
+                proc,
+                region,
+                resident,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "OOM on proc {proc}: {requested} bytes of region '{region}' \
+                 (resident {resident}, capacity {capacity})"
+            ),
+            RuntimeError::BadProc { proc, num_procs } => {
+                write!(f, "task mapped to proc {proc} of {num_procs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Aggregate statistics of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total bytes moved between memories.
+    pub comm_bytes: u64,
+    /// Total point-to-point messages.
+    pub messages: u64,
+    /// Total modeled compute operations.
+    pub total_ops: f64,
+    /// Number of index launches executed.
+    pub launches: u64,
+    /// Number of point tasks executed.
+    pub tasks: u64,
+    /// Per-launch records, in issue order.
+    pub records: Vec<LaunchRecord>,
+}
+
+/// Record of one index launch.
+#[derive(Clone, Debug)]
+pub struct LaunchRecord {
+    pub name: String,
+    pub tasks: usize,
+    pub comm_bytes: u64,
+    pub messages: u64,
+    /// Simulated makespan (max processor clock) after the launch completed.
+    pub clock_after: f64,
+}
+
+/// Where a region's data is initially valid at no modeled cost (data staged
+/// before the timed section, as the paper's methodology does).
+const SYS_MEM: usize = usize::MAX;
+
+/// The runtime: machine + regions + coherence state + clocks.
+pub struct Runtime {
+    machine: Machine,
+    regions: Vec<RegionMeta>,
+    /// `valid[r.0][p]`: intervals of region `r` valid in proc `p`'s memory.
+    valid: Vec<Vec<IntervalSet>>,
+    /// Intervals valid in the unbounded staging (system) memory.
+    sys_valid: Vec<IntervalSet>,
+    /// Resident bytes per processor memory.
+    resident: Vec<u64>,
+    /// Per-processor simulated clock (seconds).
+    proc_ready: Vec<f64>,
+    stats: RunStats,
+}
+
+impl Runtime {
+    pub fn new(machine: Machine) -> Self {
+        let p = machine.num_procs();
+        Runtime {
+            machine,
+            regions: Vec::new(),
+            valid: Vec::new(),
+            sys_valid: Vec::new(),
+            resident: vec![0; p],
+            proc_ready: vec![0.0; p],
+            stats: RunStats::default(),
+        }
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Register a logical region of `len` elements of `elem_bytes` each.
+    pub fn create_region(&mut self, name: &str, len: u64, elem_bytes: u64) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionMeta {
+            name: name.to_string(),
+            len,
+            elem_bytes,
+        });
+        self.valid
+            .push(vec![IntervalSet::new(); self.machine.num_procs()]);
+        self.sys_valid.push(IntervalSet::new());
+        id
+    }
+
+    pub fn region(&self, r: RegionId) -> &RegionMeta {
+        &self.regions[r.0 as usize]
+    }
+
+    /// Mark `subset` of `r` valid in processor `proc`'s memory without
+    /// modeled cost — the initial data distribution, staged before timing.
+    /// Still consumes memory capacity (so oversized initial placements OOM,
+    /// as in Figure 11).
+    pub fn attach(
+        &mut self,
+        r: RegionId,
+        proc: usize,
+        subset: IntervalSet,
+    ) -> Result<(), RuntimeError> {
+        self.check_proc(proc)?;
+        let have = &self.valid[r.0 as usize][proc];
+        let new = subset.subtract(have);
+        let bytes = new.total_len() * self.regions[r.0 as usize].elem_bytes;
+        self.charge_memory(proc, r, bytes)?;
+        let v = &mut self.valid[r.0 as usize][proc];
+        *v = v.union(&subset);
+        Ok(())
+    }
+
+    /// Mark the whole region valid in the unbounded staging memory (e.g.
+    /// freshly built input data before distribution).
+    pub fn attach_sys(&mut self, r: RegionId) {
+        let len = self.regions[r.0 as usize].len;
+        self.sys_valid[r.0 as usize] =
+            IntervalSet::from_rect(crate::geometry::Rect1::new(0, len as i64 - 1));
+    }
+
+    /// Drop `proc`'s copy of `subset` of `r`, releasing memory. Used by
+    /// memory-conserving schedules (e.g. SpDISTAL-Batched SpMM) that stream
+    /// data in rounds.
+    pub fn evict(&mut self, r: RegionId, proc: usize, subset: &IntervalSet) {
+        let v = &mut self.valid[r.0 as usize][proc];
+        let dropped = v.intersect(subset);
+        let bytes = dropped.total_len() * self.regions[r.0 as usize].elem_bytes;
+        *v = v.subtract(subset);
+        self.resident[proc] = self.resident[proc].saturating_sub(bytes);
+    }
+
+    /// Intervals of `r` currently valid in `proc`'s memory.
+    pub fn valid_in(&self, r: RegionId, proc: usize) -> &IntervalSet {
+        &self.valid[r.0 as usize][proc]
+    }
+
+    /// Resident bytes in `proc`'s memory.
+    pub fn resident_bytes(&self, proc: usize) -> u64 {
+        self.resident[proc]
+    }
+
+    /// Current simulated time: the max over all processor clocks.
+    pub fn now(&self) -> f64 {
+        self.proc_ready.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Per-processor clock (for tests and load-balance inspection).
+    pub fn proc_clock(&self, p: usize) -> f64 {
+        self.proc_ready[p]
+    }
+
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Synchronize all processors (MPI-style collective). SpDISTAL's
+    /// deferred-execution path never calls this; bulk-synchronous baselines
+    /// call it between phases. Charges a log-depth collective latency.
+    pub fn barrier(&mut self) {
+        let max = self.now();
+        let p = self.machine.num_procs();
+        let depth = (p.max(2) as f64).log2().ceil();
+        let t = max + depth * self.machine.profile().inter_link.latency;
+        for c in self.proc_ready.iter_mut() {
+            *c = t;
+        }
+    }
+
+    /// Execute one index launch: all `tasks` run concurrently (subject to
+    /// per-processor serialization), each first paying for the communication
+    /// its region requirements imply.
+    pub fn index_launch(
+        &mut self,
+        name: &str,
+        tasks: Vec<TaskSpec>,
+    ) -> Result<LaunchRecord, RuntimeError> {
+        let bytes_before = self.stats.comm_bytes;
+        let msgs_before = self.stats.messages;
+        let ntasks = tasks.len();
+
+        // Group reduce requirements for the post-launch combine pass.
+        let mut reduces: HashMap<RegionId, Vec<(usize, IntervalSet)>> = HashMap::new();
+        // Deferred write invalidations (applied after all comm is costed, so
+        // sibling tasks in this launch can still source reads from old copies).
+        let mut writes: Vec<(RegionId, usize, IntervalSet)> = Vec::new();
+
+        for task in &tasks {
+            self.check_proc(task.proc)?;
+            let p = task.proc;
+            let mut comm_time = 0.0;
+            for req in &task.reqs {
+                match req.privilege {
+                    Privilege::Read | Privilege::ReadWrite => {
+                        comm_time += self.fetch(req, p)?;
+                        if req.privilege == Privilege::ReadWrite {
+                            writes.push((req.region, p, req.subset.clone()));
+                        }
+                    }
+                    Privilege::Reduce => {
+                        // Local partial buffer; no inbound copy.
+                        let bytes = req.subset.total_len()
+                            * self.regions[req.region.0 as usize].elem_bytes;
+                        self.charge_memory(p, req.region, bytes)?;
+                        reduces
+                            .entry(req.region)
+                            .or_default()
+                            .push((p, req.subset.clone()));
+                    }
+                }
+            }
+            let prof = &self.machine.profile().proc;
+            let compute = prof.task_overhead + task.ops / prof.throughput;
+            self.proc_ready[p] += comm_time + compute;
+            self.stats.total_ops += task.ops;
+            self.stats.tasks += 1;
+        }
+
+        // Apply write coherence: writer's copy is the only valid one.
+        for (r, p, subset) in writes {
+            for q in 0..self.machine.num_procs() {
+                if q != p {
+                    let dropped = self.valid[r.0 as usize][q].intersect(&subset);
+                    let bytes = dropped.total_len() * self.regions[r.0 as usize].elem_bytes;
+                    self.resident[q] = self.resident[q].saturating_sub(bytes);
+                    let v = &mut self.valid[r.0 as usize][q];
+                    *v = v.subtract(&subset);
+                }
+            }
+            self.sys_valid[r.0 as usize] = self.sys_valid[r.0 as usize].subtract(&subset);
+            let v = &mut self.valid[r.0 as usize][p];
+            *v = v.union(&subset);
+        }
+
+        // Combine reduction partials: elements produced by more than one
+        // task must be exchanged and summed.
+        for (r, contribs) in reduces {
+            self.combine_reductions(r, contribs);
+        }
+
+        self.stats.launches += 1;
+        let rec = LaunchRecord {
+            name: name.to_string(),
+            tasks: ntasks,
+            comm_bytes: self.stats.comm_bytes - bytes_before,
+            messages: self.stats.messages - msgs_before,
+            clock_after: self.now(),
+        };
+        self.stats.records.push(rec.clone());
+        Ok(rec)
+    }
+
+    /// Copy the missing part of `req.subset` into `proc`'s memory, returning
+    /// the modeled transfer time. Intervals that are valid *nowhere* (fresh
+    /// regions being written for the first time) are allocated, not copied:
+    /// they consume memory but move no bytes.
+    fn fetch(&mut self, req: &RegionReq, proc: usize) -> Result<f64, RuntimeError> {
+        let r = req.region;
+        let need = req.subset.subtract(&self.valid[r.0 as usize][proc]);
+        if need.is_empty() {
+            return Ok(0.0);
+        }
+        let elem_bytes = self.regions[r.0 as usize].elem_bytes;
+        // Only the part of `need` that exists somewhere must move.
+        let mut existing = self.sys_valid[r.0 as usize].intersect(&need);
+        for (q, v) in self.valid[r.0 as usize].iter().enumerate() {
+            if q != proc {
+                existing = existing.union(&v.intersect(&need));
+            }
+        }
+        let time = if existing.is_empty() {
+            0.0
+        } else {
+            let bytes = existing.total_len() * elem_bytes;
+            let msgs = existing.num_runs() as u64;
+            let source = self.find_source(r, &existing, proc);
+            let link = match source {
+                SYS_MEM => self.machine.profile().inter_link,
+                s => self.machine.link(s, proc),
+            };
+            self.stats.comm_bytes += bytes;
+            self.stats.messages += msgs;
+            link.latency * msgs as f64 + bytes as f64 / link.bandwidth
+        };
+        self.charge_memory(proc, r, need.total_len() * elem_bytes)?;
+        let v = &mut self.valid[r.0 as usize][proc];
+        *v = v.union(&need);
+        Ok(time)
+    }
+
+    /// Find a memory holding some valid copy overlapping `need`. Prefers a
+    /// same-node processor, then any processor, then the staging memory.
+    fn find_source(&self, r: RegionId, need: &IntervalSet, dst: usize) -> usize {
+        let vs = &self.valid[r.0 as usize];
+        let mut any: Option<usize> = None;
+        for (p, v) in vs.iter().enumerate() {
+            if p != dst && v.overlaps(need) {
+                if self.machine.node_of(p) == self.machine.node_of(dst) {
+                    return p;
+                }
+                any.get_or_insert(p);
+            }
+        }
+        any.unwrap_or(SYS_MEM)
+    }
+
+    /// Charge `bytes` to `proc`'s memory, failing with OOM if over capacity.
+    fn charge_memory(&mut self, proc: usize, r: RegionId, bytes: u64) -> Result<(), RuntimeError> {
+        let cap = self.machine.profile().proc.mem_capacity;
+        let new = self.resident[proc].saturating_add(bytes);
+        if new > cap {
+            return Err(RuntimeError::Oom {
+                proc,
+                region: self.regions[r.0 as usize].name.clone(),
+                resident: self.resident[proc],
+                requested: bytes,
+                capacity: cap,
+            });
+        }
+        self.resident[proc] = new;
+        Ok(())
+    }
+
+    /// Model the combine phase for reduction privileges: the elements
+    /// assigned to multiple contributors (aliased partials) are exchanged
+    /// over the interconnect and summed in a log-depth tree.
+    fn combine_reductions(&mut self, r: RegionId, contribs: Vec<(usize, IntervalSet)>) {
+        if contribs.len() <= 1 {
+            if let Some((p, s)) = contribs.into_iter().next() {
+                let v = &mut self.valid[r.0 as usize][p];
+                *v = v.union(&s);
+            }
+            return;
+        }
+        let elem_bytes = self.regions[r.0 as usize].elem_bytes;
+        // Excess = total assigned − union: the replicated elements that must
+        // move and be combined.
+        let mut union = IntervalSet::new();
+        let mut total: u64 = 0;
+        for (_, s) in &contribs {
+            total += s.total_len();
+            union = union.union(s);
+        }
+        let excess = total - union.total_len();
+        if excess > 0 {
+            let link = self.machine.profile().inter_link;
+            let k = contribs.len() as f64;
+            let bytes = excess * elem_bytes;
+            let t_comm =
+                link.latency * k.log2().ceil() + bytes as f64 / link.bandwidth;
+            let t_compute = excess as f64 / self.machine.profile().proc.throughput;
+            // Contributors rendezvous: reduction completes after the slowest.
+            let start = contribs
+                .iter()
+                .map(|(p, _)| self.proc_ready[*p])
+                .fold(0.0, f64::max);
+            let end = start + t_comm + t_compute;
+            for (p, _) in &contribs {
+                self.proc_ready[*p] = end;
+            }
+            self.stats.comm_bytes += bytes;
+            self.stats.messages += contribs.len() as u64 - 1;
+        }
+        for (p, s) in contribs {
+            let v = &mut self.valid[r.0 as usize][p];
+            *v = v.union(&s);
+        }
+    }
+
+    fn check_proc(&self, p: usize) -> Result<(), RuntimeError> {
+        if p >= self.machine.num_procs() {
+            return Err(RuntimeError::BadProc {
+                proc: p,
+                num_procs: self.machine.num_procs(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect1;
+    use crate::machine::MachineProfile;
+
+    fn rt(procs: usize) -> Runtime {
+        Runtime::new(Machine::grid1d(procs, MachineProfile::test_profile()))
+    }
+
+    #[test]
+    fn read_req_copies_once() {
+        let mut r = rt(2);
+        let reg = r.create_region("x", 1000, 8);
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 999))).unwrap();
+        // Task on proc 1 reads the first half: 500 * 8 bytes move.
+        let t = TaskSpec::new(1, 0.0)
+            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 499))));
+        let rec = r.index_launch("l1", vec![t.clone()]).unwrap();
+        assert_eq!(rec.comm_bytes, 4000);
+        // Second identical launch: data already valid, no traffic.
+        let rec2 = r.index_launch("l2", vec![t]).unwrap();
+        assert_eq!(rec2.comm_bytes, 0);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut r = rt(2);
+        let reg = r.create_region("x", 100, 8);
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 99))).unwrap();
+        let w = TaskSpec::new(1, 0.0)
+            .with_req(RegionReq::write(reg, IntervalSet::from_rect(Rect1::new(0, 49))));
+        r.index_launch("w", vec![w]).unwrap();
+        assert!(r.valid_in(reg, 0).contains(50));
+        assert!(!r.valid_in(reg, 0).contains(0));
+        assert!(r.valid_in(reg, 1).contains(0));
+        // Proc 0 reading back the written half pays communication.
+        let rd = TaskSpec::new(0, 0.0)
+            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 49))));
+        let rec = r.index_launch("r", vec![rd]).unwrap();
+        assert_eq!(rec.comm_bytes, 400);
+    }
+
+    #[test]
+    fn clocks_advance_independently_without_barrier() {
+        let mut r = rt(2);
+        // Proc 0 runs 1e6 ops (1ms at 1e9 ops/s); proc 1 runs 1e3 ops.
+        r.index_launch(
+            "skew",
+            vec![TaskSpec::new(0, 1.0e6), TaskSpec::new(1, 1.0e3)],
+        )
+        .unwrap();
+        assert!(r.proc_clock(0) > r.proc_clock(1));
+        // Without a barrier, proc 1 keeps its early clock.
+        r.index_launch("more", vec![TaskSpec::new(1, 1.0e3)]).unwrap();
+        assert!(r.proc_clock(1) < r.proc_clock(0));
+        // Barrier synchronizes.
+        r.barrier();
+        assert!((r.proc_clock(0) - r.proc_clock(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_reported() {
+        let m = Machine::grid1d(1, MachineProfile::test_profile_with_capacity(100));
+        let mut r = Runtime::new(m);
+        let reg = r.create_region("big", 1000, 8);
+        r.attach_sys(reg);
+        let t = TaskSpec::new(0, 0.0)
+            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 999))));
+        let err = r.index_launch("oom", vec![t]).unwrap_err();
+        assert!(matches!(err, RuntimeError::Oom { .. }));
+    }
+
+    #[test]
+    fn attach_respects_capacity() {
+        let m = Machine::grid1d(1, MachineProfile::test_profile_with_capacity(100));
+        let mut r = Runtime::new(m);
+        let reg = r.create_region("big", 1000, 8);
+        assert!(r
+            .attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 999)))
+            .is_err());
+        assert!(r
+            .attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 9)))
+            .is_ok());
+        assert_eq!(r.resident_bytes(0), 80);
+    }
+
+    #[test]
+    fn evict_releases_memory() {
+        let m = Machine::grid1d(1, MachineProfile::test_profile_with_capacity(800));
+        let mut r = Runtime::new(m);
+        let reg = r.create_region("x", 100, 8);
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 99))).unwrap();
+        assert_eq!(r.resident_bytes(0), 800);
+        r.evict(reg, 0, &IntervalSet::from_rect(Rect1::new(0, 49)));
+        assert_eq!(r.resident_bytes(0), 400);
+        assert!(!r.valid_in(reg, 0).contains(0));
+        assert!(r.valid_in(reg, 0).contains(50));
+    }
+
+    #[test]
+    fn reduction_overlap_charged() {
+        let mut r = rt(2);
+        let reg = r.create_region("a", 100, 8);
+        // Both procs reduce into overlapping [40,59]: 20 elements excess.
+        let mk = |p: usize, lo: i64, hi: i64| {
+            TaskSpec::new(p, 100.0)
+                .with_req(RegionReq::reduce(reg, IntervalSet::from_rect(Rect1::new(lo, hi))))
+        };
+        let rec = r
+            .index_launch("red", vec![mk(0, 0, 59), mk(1, 40, 99)])
+            .unwrap();
+        assert_eq!(rec.comm_bytes, 20 * 8);
+        // Disjoint reduction: no traffic.
+        let mut r2 = rt(2);
+        let reg2 = r2.create_region("a", 100, 8);
+        let mk2 = |p: usize, lo: i64, hi: i64| {
+            TaskSpec::new(p, 100.0)
+                .with_req(RegionReq::reduce(reg2, IntervalSet::from_rect(Rect1::new(lo, hi))))
+        };
+        let rec2 = r2
+            .index_launch("red", vec![mk2(0, 0, 49), mk2(1, 50, 99)])
+            .unwrap();
+        assert_eq!(rec2.comm_bytes, 0);
+    }
+
+    #[test]
+    fn same_node_source_preferred() {
+        let m = Machine::grid1d(8, MachineProfile::lassen_gpu(1.0));
+        let mut r = Runtime::new(m);
+        let reg = r.create_region("x", 1_000_000, 8);
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 999_999))).unwrap();
+        r.attach(reg, 4, IntervalSet::from_rect(Rect1::new(0, 999_999))).unwrap();
+        // Proc 5 shares a node with proc 4; copy should use the NVLink.
+        let t = TaskSpec::new(5, 0.0)
+            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 999_999))));
+        r.index_launch("l", vec![t]).unwrap();
+        let nvlink_time = 8.0e6 / 7.5e10;
+        let ib_time = 8.0e6 / 1.25e10;
+        let elapsed = r.proc_clock(5);
+        assert!(elapsed < (nvlink_time + ib_time) / 2.0 + 1e-4,
+            "expected NVLink-speed copy, got {elapsed}");
+    }
+
+    #[test]
+    fn bad_proc_rejected() {
+        let mut r = rt(2);
+        let err = r.index_launch("x", vec![TaskSpec::new(5, 0.0)]).unwrap_err();
+        assert!(matches!(err, RuntimeError::BadProc { .. }));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut r = rt(2);
+        let reg = r.create_region("x", 100, 8);
+        r.attach_sys(reg);
+        for i in 0..3 {
+            let t = TaskSpec::new(i % 2, 50.0)
+                .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 99))));
+            r.index_launch("l", vec![t]).unwrap();
+        }
+        assert_eq!(r.stats().launches, 3);
+        assert_eq!(r.stats().tasks, 3);
+        assert_eq!(r.stats().total_ops, 150.0);
+        // Two copies (one per proc), then cached.
+        assert_eq!(r.stats().comm_bytes, 2 * 800);
+        assert_eq!(r.stats().records.len(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Model-based property tests for the geometric substrate: every
+//! [`IntervalSet`] operation must agree with the same operation on a plain
+//! set of points, and the dependent-partitioning operators must satisfy
+//! their algebraic laws for arbitrary pos/crd structures. These invariants
+//! carry the whole partitioning subsystem.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use spdistal_runtime::{image_rects, preimage_rects, IntervalSet, Partition, Rect1};
+
+fn arb_set() -> impl Strategy<Value = (IntervalSet, BTreeSet<i64>)> {
+    proptest::collection::vec((0i64..100, 0i64..12), 0..12).prop_map(|pairs| {
+        let rects: Vec<Rect1> = pairs
+            .iter()
+            .map(|&(lo, len)| Rect1::new(lo, lo + len))
+            .collect();
+        let model: BTreeSet<i64> = rects.iter().flat_map(|r| r.iter()).collect();
+        (IntervalSet::from_rects(rects), model)
+    })
+}
+
+/// An arbitrary pos array: contiguous, possibly-empty row ranges over a crd
+/// space, exactly as compressed tensor levels produce.
+fn arb_pos() -> impl Strategy<Value = (Vec<Rect1>, u64)> {
+    proptest::collection::vec(0i64..6, 1..20).prop_map(|row_lens| {
+        let mut pos = Vec::with_capacity(row_lens.len());
+        let mut cur = 0i64;
+        for len in row_lens {
+            if len == 0 {
+                pos.push(Rect1::empty());
+            } else {
+                pos.push(Rect1::new(cur, cur + len - 1));
+                cur += len;
+            }
+        }
+        (pos, cur.max(1) as u64)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interval_set_ops_match_point_sets(
+        (a, ma) in arb_set(),
+        (b, mb) in arb_set(),
+    ) {
+        let union: BTreeSet<i64> = ma.union(&mb).copied().collect();
+        let inter: BTreeSet<i64> = ma.intersection(&mb).copied().collect();
+        let diff: BTreeSet<i64> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(a.union(&b).iter_points().collect::<BTreeSet<_>>(), union);
+        prop_assert_eq!(a.intersect(&b).iter_points().collect::<BTreeSet<_>>(), inter);
+        prop_assert_eq!(a.subtract(&b).iter_points().collect::<BTreeSet<_>>(), diff);
+        prop_assert_eq!(a.overlaps(&b), !ma.is_disjoint(&mb));
+        prop_assert_eq!(a.total_len(), ma.len() as u64);
+        for p in 0..100i64 {
+            prop_assert_eq!(a.contains(p), ma.contains(&p));
+        }
+    }
+
+    #[test]
+    fn normalization_is_canonical((a, _) in arb_set(), (b, _) in arb_set()) {
+        // Rebuilding from a set's own rects is the identity, and rect lists
+        // are sorted, disjoint and non-adjacent.
+        let rebuilt = IntervalSet::from_rects(a.rects().to_vec());
+        prop_assert_eq!(&rebuilt, &a);
+        for w in a.rects().windows(2) {
+            prop_assert!(w[0].hi + 1 < w[1].lo);
+        }
+        // Union is commutative and associative with itself.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersect_rect_matches_full_intersect((a, _) in arb_set(), lo in 0i64..100, len in 0i64..30) {
+        let r = Rect1::new(lo, lo + len);
+        let via_iter: Vec<Rect1> = a.intersect_rect(r).collect();
+        let expect = a.intersect(&IntervalSet::from_rect(r));
+        prop_assert_eq!(IntervalSet::from_rects(via_iter), expect);
+    }
+
+    #[test]
+    fn image_preimage_galois_connection((pos, crd_len) in arb_pos(), colors in 1usize..6) {
+        // image/preimage form a Galois-connection-like pair on pos/crd:
+        // pushing a row partition down then pulling it back keeps every
+        // non-empty row; pulling a crd partition up then pushing it down
+        // covers the original crd subsets.
+        let rows = Partition::equal(pos.len() as u64, colors);
+        let down = image_rects(&pos, &rows, crd_len);
+        let back = preimage_rects(&pos, &down);
+        for c in 0..colors {
+            for i in rows.subset(c).iter_points() {
+                if !pos[i as usize].is_empty() {
+                    prop_assert!(back.subset(c).contains(i));
+                }
+            }
+        }
+        let crd = Partition::equal(crd_len, colors);
+        let up = preimage_rects(&pos, &crd);
+        let down2 = image_rects(&pos, &up, crd_len);
+        for c in 0..colors {
+            // Every crd position covered by some row must be recovered.
+            let covered = crd.subset(c).iter_points().filter(|&q| {
+                pos.iter().any(|r| r.contains(q))
+            });
+            for q in covered {
+                prop_assert!(down2.subset(c).contains(q));
+            }
+        }
+    }
+
+    #[test]
+    fn by_value_ranges_partitions_disjoint_ranges(
+        values in proptest::collection::vec(0i64..40, 0..60),
+        split in 1i64..39,
+    ) {
+        let ranges = [Rect1::new(0, split - 1), Rect1::new(split, 39)];
+        let p = Partition::by_value_ranges(&values, &ranges);
+        prop_assert!(p.is_disjoint());
+        prop_assert!(p.is_complete());
+        for q in p.subset(0).iter_points() {
+            prop_assert!(values[q as usize] < split);
+        }
+        for q in p.subset(1).iter_points() {
+            prop_assert!(values[q as usize] >= split);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Synthetic sparse tensor generators.
+//!
+//! The paper evaluates on SuiteSparse/FROSTT/Freebase inputs with 10⁸–10⁹
+//! non-zeros. Those datasets (and that much memory) are not available here,
+//! so these generators produce scaled-down matrices and 3-tensors matching
+//! the *structure class* of each input — the property the experiments
+//! actually exercise (row-degree skew for load balance, bandedness for weak
+//! scaling, slice skew for tensor kernels). All generators are seeded and
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::CooTensor;
+use crate::tensor::{LevelFormat, SpTensor};
+
+/// Formats shorthand: CSR `{Dense, Compressed}`.
+pub const CSR: [LevelFormat; 2] = [LevelFormat::Dense, LevelFormat::Compressed];
+/// Formats shorthand: CSF `{Dense, Compressed, Compressed}` (the paper's
+/// default 3-tensor format).
+pub const CSF3: [LevelFormat; 3] = [
+    LevelFormat::Dense,
+    LevelFormat::Compressed,
+    LevelFormat::Compressed,
+];
+
+fn value(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.1..1.0)
+}
+
+/// A banded matrix: `band` diagonals centered on the main diagonal. Used by
+/// the weak-scaling experiment (Figure 13: "synthetic banded matrices").
+/// Rows are generated in order, so the CSR arrays are constructed directly
+/// (no COO sort) — weak-scaling inputs get large.
+pub fn banded(n: usize, band: usize, seed: u64) -> SpTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = (band / 2) as i64;
+    let mut pos = Vec::with_capacity(n);
+    let mut crd = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n as i64 {
+        let lo = (i - half).max(0);
+        let hi = (i + half).min(n as i64 - 1);
+        let start = crd.len() as i64;
+        for j in lo..=hi {
+            crd.push(j);
+            vals.push(value(&mut rng));
+        }
+        pos.push(spdistal_runtime::Rect1::new(start, crd.len() as i64 - 1));
+    }
+    crate::tensor::SpTensor::from_parts(
+        vec![n, n],
+        vec![
+            crate::tensor::Level::Dense { size: n },
+            crate::tensor::Level::Compressed { pos, crd },
+        ],
+        vals,
+    )
+}
+
+/// A uniform (Erdős–Rényi-style) random matrix with `nnz` samples (fewer
+/// after deduplication). Models near-regular inputs such as the k-mer
+/// protein graphs.
+pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> SpTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(vec![rows, cols]);
+    for _ in 0..nnz {
+        let i = rng.gen_range(0..rows) as i64;
+        let j = rng.gen_range(0..cols) as i64;
+        coo.push(&[i, j], value(&mut rng));
+    }
+    coo.build(&CSR)
+}
+
+/// An R-MAT (recursive-matrix) power-law matrix. With the classic
+/// `(a,b,c,d) = (0.57, 0.19, 0.19, 0.05)` parameters this reproduces the
+/// heavy-tailed row-degree distributions of the web-connectivity matrices
+/// (arabic-2005, it-2004, sk-2005, uk-2005, webbase-2001) and social
+/// networks (twitter7) — the inputs whose skew motivates non-zero
+/// partitioning.
+pub fn rmat(scale: u32, nnz: usize, a: f64, b: f64, c: f64, seed: u64) -> SpTensor {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // R-MAT clusters its hubs at low indices; real web crawls order pages
+    // by URL, which decorrelates degree from row index. Shuffle vertex ids
+    // so the per-row degree distribution keeps its heavy tail while
+    // contiguous row blocks carry representative non-zero counts.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for k in (1..n).rev() {
+        perm.swap(k, rng.gen_range(0..=k));
+    }
+    let mut coo = CooTensor::new(vec![n, n]);
+    for _ in 0..nnz {
+        let (mut i, mut j) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (bi, bj) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            i = (i << 1) | bi;
+            j = (j << 1) | bj;
+        }
+        coo.push(&[perm[i] as i64, perm[j] as i64], value(&mut rng));
+    }
+    coo.build(&CSR)
+}
+
+/// R-MAT with the classic web-graph parameters.
+pub fn rmat_default(scale: u32, nnz: usize, seed: u64) -> SpTensor {
+    rmat(scale, nnz, 0.57, 0.19, 0.19, seed)
+}
+
+/// A matrix with uniformly dense rows of the given degree (models
+/// mycielskian19: a synthetic graph with very high, fairly even degree).
+pub fn dense_rows(rows: usize, cols: usize, degree: usize, seed: u64) -> SpTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(vec![rows, cols]);
+    for i in 0..rows as i64 {
+        for _ in 0..degree {
+            let j = rng.gen_range(0..cols) as i64;
+            coo.push(&[i, j], value(&mut rng));
+        }
+    }
+    coo.build(&CSR)
+}
+
+/// A uniform random 3-tensor with ~`nnz` entries, in the given formats.
+pub fn tensor3_uniform(dims: [usize; 3], nnz: usize, seed: u64) -> SpTensor {
+    tensor3_uniform_fmt(dims, nnz, seed, &CSF3)
+}
+
+/// A uniform random 3-tensor with explicit formats (e.g. the "patents"
+/// `{Dense, Dense, Compressed}` layout).
+pub fn tensor3_uniform_fmt(
+    dims: [usize; 3],
+    nnz: usize,
+    seed: u64,
+    formats: &[LevelFormat],
+) -> SpTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(dims.to_vec());
+    for _ in 0..nnz {
+        let c = [
+            rng.gen_range(0..dims[0]) as i64,
+            rng.gen_range(0..dims[1]) as i64,
+            rng.gen_range(0..dims[2]) as i64,
+        ];
+        coo.push(&c, value(&mut rng));
+    }
+    coo.build(formats)
+}
+
+/// A 3-tensor whose mode-0 slice sizes follow a Zipf-like distribution with
+/// exponent `alpha` — the skew of the Freebase/NELL data-mining tensors.
+pub fn tensor3_skewed(dims: [usize; 3], nnz: usize, alpha: f64, seed: u64) -> SpTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Zipf weights over slices.
+    let weights: Vec<f64> = (1..=dims[0]).map(|r| (r as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(dims[0]);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut coo = CooTensor::new(dims.to_vec());
+    for _ in 0..nnz {
+        let r: f64 = rng.gen();
+        let i = cdf.partition_point(|&c| c < r).min(dims[0] - 1);
+        let c = [
+            i as i64,
+            rng.gen_range(0..dims[1]) as i64,
+            rng.gen_range(0..dims[2]) as i64,
+        ];
+        coo.push(&c, value(&mut rng));
+    }
+    coo.build(&CSF3)
+}
+
+/// A random dense matrix as a flat row-major buffer.
+pub fn dense_buffer(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| value(&mut rng)).collect()
+}
+
+/// A random dense vector.
+pub fn dense_vec(n: usize, seed: u64) -> Vec<f64> {
+    dense_buffer(n, 1, seed)
+}
+
+/// Shift a matrix/tensor's last dimension by `shift` (mod extent),
+/// following Henry & Hsu et al. [30]: the paper constructs additional sparse
+/// inputs for multi-operand expressions (SpAdd3, SDDMM) by shifting the last
+/// dimension of each tensor.
+pub fn shift_last_dim(t: &SpTensor, shift: i64) -> SpTensor {
+    let dims = t.dims().to_vec();
+    let last = dims.len() - 1;
+    let extent = dims[last] as i64;
+    let mut coo = CooTensor::new(dims);
+    t.for_each(|c, v| {
+        if v != 0.0 {
+            let mut c2 = c.to_vec();
+            c2[last] = (c2[last] + shift).rem_euclid(extent);
+            coo.push(&c2, v);
+        }
+    });
+    coo.build(&t.formats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_structure() {
+        let t = banded(10, 3, 1);
+        // Interior rows have 3 entries, first/last have 2.
+        assert_eq!(t.row_nnz(0), 2);
+        assert_eq!(t.row_nnz(5), 3);
+        assert_eq!(t.row_nnz(9), 2);
+        assert_eq!(t.nnz(), 10 * 3 - 2);
+        t.for_each(|c, _| assert!((c[0] - c[1]).abs() <= 1));
+    }
+
+    #[test]
+    fn uniform_nnz_close() {
+        let t = uniform(100, 100, 500, 2);
+        // Duplicates make it slightly less than 500.
+        assert!(t.nnz() > 450 && t.nnz() <= 500);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let t = rmat_default(10, 5000, 3);
+        let n = t.dims()[0];
+        let degrees: Vec<usize> = (0..n).map(|i| t.row_nnz(i)).collect();
+        let max = *degrees.iter().max().unwrap();
+        let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+        // Power-law: max degree far above mean.
+        assert!(
+            max as f64 > 8.0 * mean,
+            "expected skew, max={max} mean={mean}"
+        );
+    }
+
+    #[test]
+    fn uniform_is_not_skewed() {
+        let t = uniform(1024, 1024, 5000, 4);
+        let degrees: Vec<usize> = (0..1024).map(|i| t.row_nnz(i)).collect();
+        let max = *degrees.iter().max().unwrap();
+        let mean = degrees.iter().sum::<usize>() as f64 / 1024.0;
+        assert!((max as f64) < 8.0 * mean, "uniform max={max} mean={mean}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(rmat_default(8, 1000, 7), rmat_default(8, 1000, 7));
+        assert_ne!(rmat_default(8, 1000, 7), rmat_default(8, 1000, 8));
+    }
+
+    #[test]
+    fn skewed_tensor_slices() {
+        let t = tensor3_skewed([64, 32, 32], 4000, 1.2, 5);
+        // Slice 0 should hold far more than the average share.
+        let coo = t.to_coo();
+        let s0 = coo.iter().filter(|(c, _)| c[0] == 0).count();
+        assert!(s0 as f64 > 3.0 * (coo.len() as f64 / 64.0));
+    }
+
+    #[test]
+    fn shift_preserves_nnz_structure() {
+        let t = uniform(50, 60, 300, 6);
+        let s = shift_last_dim(&t, 1);
+        assert_eq!(t.nnz(), s.nnz());
+        assert_eq!(t.dims(), s.dims());
+        // Values multiset preserved.
+        let mut v1: Vec<u64> = t.to_coo().iter().map(|(_, v)| v.to_bits()).collect();
+        let mut v2: Vec<u64> = s.to_coo().iter().map(|(_, v)| v.to_bits()).collect();
+        v1.sort_unstable();
+        v2.sort_unstable();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn dense_rows_degree() {
+        let t = dense_rows(20, 1000, 50, 9);
+        for i in 0..20 {
+            let d = t.row_nnz(i);
+            assert!(d > 40 && d <= 50, "row {i} degree {d}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! The paper's inputs are distributed as MatrixMarket / FROSTT text files;
+//! this module lets users run the reproduction on real downloaded datasets
+//! (matrices via `%%MatrixMarket matrix coordinate real general`, 3-tensors
+//! via the FROSTT whitespace `i j k v` convention with a leading dims line).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::builder::CooTensor;
+use crate::tensor::{LevelFormat, SpTensor};
+
+/// Errors from MatrixMarket parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "io error: {e}"),
+            MmError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a `matrix coordinate real` MatrixMarket stream into a CSR matrix.
+/// Supports `general` and `symmetric` symmetry.
+pub fn read_matrix(r: impl Read) -> Result<SpTensor, MmError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty stream"))??;
+    if !header.starts_with("%%MatrixMarket") {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    let symmetric = header.contains("symmetric");
+    if !header.contains("coordinate") {
+        return Err(parse_err("only coordinate format supported"));
+    }
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        if line.starts_with('%') || line.trim().is_empty() {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let mut it = size_line.split_whitespace();
+    let rows: usize = next_num(&mut it, "rows")?;
+    let cols: usize = next_num(&mut it, "cols")?;
+    let nnz: usize = next_num(&mut it, "nnz")?;
+
+    let mut coo = CooTensor::new(vec![rows, cols]);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: i64 = next_num(&mut it, "row index")?;
+        let j: i64 = next_num(&mut it, "col index")?;
+        let v: f64 = it.next().map_or(Ok(1.0), |s| {
+            s.parse().map_err(|_| parse_err("bad value"))
+        })?;
+        // MatrixMarket is 1-indexed.
+        coo.push(&[i - 1, j - 1], v);
+        if symmetric && i != j {
+            coo.push(&[j - 1, i - 1], v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, got {seen}")));
+    }
+    Ok(coo.build(&[LevelFormat::Dense, LevelFormat::Compressed]))
+}
+
+/// Write a matrix as `matrix coordinate real general`.
+pub fn write_matrix(t: &SpTensor, mut w: impl Write) -> Result<(), MmError> {
+    assert_eq!(t.order(), 2);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    let coo = t.to_coo();
+    writeln!(w, "{} {} {}", t.dims()[0], t.dims()[1], coo.len())?;
+    for (c, v) in coo {
+        writeln!(w, "{} {} {}", c[0] + 1, c[1] + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Read a FROSTT-style 3-tensor: first non-comment line `d0 d1 d2 nnz`,
+/// then `i j k v` lines (1-indexed).
+pub fn read_tensor3(r: impl Read) -> Result<SpTensor, MmError> {
+    let mut lines = BufReader::new(r).lines();
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        if line.starts_with('#') || line.starts_with('%') || line.trim().is_empty() {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let mut it = size_line.split_whitespace();
+    let d0: usize = next_num(&mut it, "dim0")?;
+    let d1: usize = next_num(&mut it, "dim1")?;
+    let d2: usize = next_num(&mut it, "dim2")?;
+    let mut coo = CooTensor::new(vec![d0, d1, d2]);
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: i64 = next_num(&mut it, "i")?;
+        let j: i64 = next_num(&mut it, "j")?;
+        let k: i64 = next_num(&mut it, "k")?;
+        let v: f64 = next_num(&mut it, "v")?;
+        coo.push(&[i - 1, j - 1, k - 1], v);
+    }
+    Ok(coo.build(&crate::generate::CSF3))
+}
+
+fn next_num<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<T, MmError> {
+    it.next()
+        .ok_or_else(|| parse_err(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| parse_err(format!("bad {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_triplets;
+
+    #[test]
+    fn roundtrip_matrix() {
+        let t = csr_from_triplets(3, 4, &[(0, 1, 2.5), (2, 3, -1.0), (1, 0, 7.0)]);
+        let mut buf = Vec::new();
+        write_matrix(&t, &mut buf).unwrap();
+        let back = read_matrix(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    3 3 2\n\
+                    2 1 5.0\n\
+                    3 3 1.0\n";
+        let t = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(t.nnz(), 3); // (1,0), (0,1), (2,2)
+        assert_eq!(
+            t.to_coo(),
+            vec![(vec![0, 1], 5.0), (vec![1, 0], 5.0), (vec![2, 2], 1.0)]
+        );
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(read_matrix("3 3 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_count_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n";
+        assert!(read_matrix(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn pattern_entries_default_to_one() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let t = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(t.to_coo(), vec![(vec![0, 1], 1.0)]);
+    }
+
+    #[test]
+    fn frostt_tensor() {
+        let text = "# a tensor\n2 3 4 2\n1 1 1 1.5\n2 3 4 2.5\n";
+        let t = read_tensor3(text.as_bytes()).unwrap();
+        assert_eq!(t.dims(), &[2, 3, 4]);
+        assert_eq!(
+            t.to_coo(),
+            vec![(vec![0, 0, 0], 1.5), (vec![1, 2, 3], 2.5)]
+        );
+    }
+}

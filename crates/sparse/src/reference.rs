@@ -1,0 +1,270 @@
+//! Serial reference implementations of the paper's six kernels
+//! (Section VI-A), used as correctness oracles for the distributed
+//! compiler-generated paths and the baselines.
+//!
+//! These are deliberately format-agnostic (they walk the coordinate tree via
+//! [`SpTensor::for_each`]) and straightforwardly correct rather than fast.
+//!
+//! * SpMV:     `a(i) = B(i,j) · c(j)`
+//! * SpMM:     `A(i,j) = B(i,k) · C(k,j)`
+//! * SpAdd3:   `A(i,j) = B(i,j) + C(i,j) + D(i,j)`
+//! * SDDMM:    `A(i,j) = B(i,j) · C(i,k) · D(k,j)`
+//! * SpTTV:    `A(i,j) = B(i,j,k) · c(k)`
+//! * SpMTTKRP: `A(i,l) = B(i,j,k) · C(j,l) · D(k,l)`
+//!
+//! Bolded tensors in the paper (`B`, and `C`/`D` in SpAdd3) are sparse; all
+//! others dense.
+
+
+
+use crate::builder::CooTensor;
+use crate::tensor::{LevelFormat, SpTensor};
+
+/// SpMV: `a(i) = B(i,j) · c(j)`. `B` is a sparse matrix, `c` dense.
+pub fn spmv(b: &SpTensor, c: &[f64]) -> Vec<f64> {
+    assert_eq!(b.order(), 2);
+    assert_eq!(b.dims()[1], c.len());
+    let mut a = vec![0.0; b.dims()[0]];
+    b.for_each(|coord, v| {
+        a[coord[0] as usize] += v * c[coord[1] as usize];
+    });
+    a
+}
+
+/// SpMM: `A(i,j) = B(i,k) · C(k,j)` with sparse `B` and dense row-major `C`
+/// of shape `(B.dims[1], jdim)`. Returns dense row-major `A` of shape
+/// `(B.dims[0], jdim)`.
+pub fn spmm(b: &SpTensor, c: &[f64], jdim: usize) -> Vec<f64> {
+    assert_eq!(b.order(), 2);
+    assert_eq!(c.len(), b.dims()[1] * jdim);
+    let mut a = vec![0.0; b.dims()[0] * jdim];
+    b.for_each(|coord, v| {
+        let (i, k) = (coord[0] as usize, coord[1] as usize);
+        let arow = &mut a[i * jdim..(i + 1) * jdim];
+        let crow = &c[k * jdim..(k + 1) * jdim];
+        for (aj, cj) in arow.iter_mut().zip(crow) {
+            *aj += v * cj;
+        }
+    });
+    a
+}
+
+/// SpAdd3: `A(i,j) = B(i,j) + C(i,j) + D(i,j)`, all sparse. The output
+/// sparsity pattern is the union of the inputs' (discovered by assembly).
+pub fn spadd3(b: &SpTensor, c: &SpTensor, d: &SpTensor) -> SpTensor {
+    assert_eq!(b.dims(), c.dims());
+    assert_eq!(b.dims(), d.dims());
+    // The COO builder sums duplicate coordinates, which is exactly sparse
+    // addition; one sort instead of per-entry map operations.
+    let mut coo = CooTensor::new(b.dims().to_vec());
+    for t in [b, c, d] {
+        t.for_each(|coord, v| {
+            if v != 0.0 {
+                coo.push(coord, v);
+            }
+        });
+    }
+    coo.build(&[LevelFormat::Dense, LevelFormat::Compressed])
+}
+
+/// SDDMM: `A(i,j) = B(i,j) · C(i,k) · D(k,j)` with sparse `B`, dense
+/// row-major `C` (shape `(B.dims[0], kdim)`) and `D` (shape
+/// `(kdim, B.dims[1])`). Returns a sparse matrix with `B`'s pattern.
+pub fn sddmm(b: &SpTensor, c: &[f64], d: &[f64], kdim: usize) -> SpTensor {
+    assert_eq!(b.order(), 2);
+    let jdim = b.dims()[1];
+    assert_eq!(c.len(), b.dims()[0] * kdim);
+    assert_eq!(d.len(), kdim * jdim);
+    let mut out = b.clone();
+    // Walk pattern in storage order; vals align with that order.
+    let mut new_vals = Vec::with_capacity(b.num_stored());
+    b.for_each(|coord, v| {
+        let (i, j) = (coord[0] as usize, coord[1] as usize);
+        let mut dot = 0.0;
+        for k in 0..kdim {
+            dot += c[i * kdim + k] * d[k * jdim + j];
+        }
+        new_vals.push(v * dot);
+    });
+    out.vals_mut().copy_from_slice(&new_vals);
+    out
+}
+
+/// SpTTV: `A(i,j) = B(i,j,k) · c(k)` with sparse 3-tensor `B` and dense `c`.
+/// The output pattern is the (i,j) projection of `B`'s pattern.
+pub fn spttv(b: &SpTensor, c: &[f64]) -> SpTensor {
+    assert_eq!(b.order(), 3);
+    assert_eq!(b.dims()[2], c.len());
+    // Duplicate (i,j) projections are summed by the COO builder.
+    let mut coo = CooTensor::new(vec![b.dims()[0], b.dims()[1]]);
+    b.for_each(|coord, v| {
+        if v != 0.0 {
+            coo.push(&[coord[0], coord[1]], v * c[coord[2] as usize]);
+        }
+    });
+    coo.build(&[LevelFormat::Dense, LevelFormat::Compressed])
+}
+
+/// SpMTTKRP: `A(i,l) = B(i,j,k) · C(j,l) · D(k,l)` with sparse 3-tensor `B`
+/// and dense factor matrices `C` (shape `(B.dims[1], ldim)`) and `D` (shape
+/// `(B.dims[2], ldim)`). Returns dense row-major `A` of shape
+/// `(B.dims[0], ldim)`.
+pub fn spmttkrp(b: &SpTensor, c: &[f64], d: &[f64], ldim: usize) -> Vec<f64> {
+    assert_eq!(b.order(), 3);
+    assert_eq!(c.len(), b.dims()[1] * ldim);
+    assert_eq!(d.len(), b.dims()[2] * ldim);
+    let mut a = vec![0.0; b.dims()[0] * ldim];
+    b.for_each(|coord, v| {
+        let (i, j, k) = (coord[0] as usize, coord[1] as usize, coord[2] as usize);
+        let arow = &mut a[i * ldim..(i + 1) * ldim];
+        for l in 0..ldim {
+            arow[l] += v * c[j * ldim + l] * d[k * ldim + l];
+        }
+    });
+    a
+}
+
+/// Compare two float slices elementwise with relative tolerance.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+/// Compare two sparse tensors: same dims, same pattern, close values.
+pub fn tensors_approx_eq(a: &SpTensor, b: &SpTensor, tol: f64) -> bool {
+    if a.dims() != b.dims() {
+        return false;
+    }
+    let ca = a.to_coo();
+    let cb = b.to_coo();
+    ca.len() == cb.len()
+        && ca
+            .iter()
+            .zip(&cb)
+            .all(|((c1, v1), (c2, v2))| c1 == c2 && (v1 - v2).abs() <= tol * (1.0 + v1.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{csr_from_triplets, dense_matrix};
+    use crate::generate;
+
+    #[test]
+    fn spmv_small() {
+        // [[1,2],[0,3]] * [10,20] = [50, 60]
+        let b = csr_from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
+        assert_eq!(spmv(&b, &[10.0, 20.0]), vec![50.0, 60.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let b = generate::uniform(40, 30, 200, 1);
+        let c = generate::dense_vec(30, 2);
+        let mut dense = vec![0.0; 40 * 30];
+        b.for_each(|co, v| dense[co[0] as usize * 30 + co[1] as usize] = v);
+        let expect: Vec<f64> = (0..40)
+            .map(|i| (0..30).map(|j| dense[i * 30 + j] * c[j]).sum())
+            .collect();
+        assert!(approx_eq(&spmv(&b, &c), &expect, 1e-12));
+    }
+
+    #[test]
+    fn spmm_small() {
+        let b = csr_from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]);
+        // C = 3x2 = [[1,2],[3,4],[5,6]]
+        let c = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let a = spmm(&b, &c, 2);
+        assert_eq!(a, vec![1.0, 2.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn spadd3_union_pattern() {
+        let b = csr_from_triplets(2, 2, &[(0, 0, 1.0)]);
+        let c = csr_from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]);
+        let d = csr_from_triplets(2, 2, &[(1, 0, 4.0)]);
+        let a = spadd3(&b, &c, &d);
+        assert_eq!(
+            a.to_coo(),
+            vec![(vec![0, 0], 3.0), (vec![1, 0], 4.0), (vec![1, 1], 3.0)]
+        );
+    }
+
+    #[test]
+    fn sddmm_small() {
+        // B = [[0, 2]], C = 1x2 [1, 2], D = 2x2 [[1,0],[0,1]] -> A(0,1) = 2 * (C row 0 · D col 1) = 2*2
+        let b = csr_from_triplets(1, 2, &[(0, 1, 2.0)]);
+        let c = vec![1.0, 2.0];
+        let d = vec![1.0, 0.0, 0.0, 1.0];
+        let a = sddmm(&b, &c, &d, 2);
+        assert_eq!(a.to_coo(), vec![(vec![0, 1], 4.0)]);
+    }
+
+    #[test]
+    fn sddmm_preserves_pattern() {
+        let b = generate::uniform(30, 25, 150, 3);
+        let c = generate::dense_buffer(30, 8, 4);
+        let d = generate::dense_buffer(8, 25, 5);
+        let a = sddmm(&b, &c, &d, 8);
+        let pb: Vec<Vec<i64>> = b.to_coo().into_iter().map(|(c, _)| c).collect();
+        let pa: Vec<Vec<i64>> = a.to_coo().into_iter().map(|(c, _)| c).collect();
+        assert_eq!(pa.len(), pb.len());
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn spttv_small() {
+        let t = generate::tensor3_uniform([4, 5, 6], 30, 6);
+        let c = generate::dense_vec(6, 7);
+        let a = spttv(&t, &c);
+        // Check one entry against manual sum.
+        let coo = t.to_coo();
+        let (i0, j0) = (coo[0].0[0], coo[0].0[1]);
+        let expect: f64 = coo
+            .iter()
+            .filter(|(co, _)| co[0] == i0 && co[1] == j0)
+            .map(|(co, v)| v * c[co[2] as usize])
+            .sum();
+        let got = a
+            .to_coo()
+            .into_iter()
+            .find(|(co, _)| co[0] == i0 && co[1] == j0)
+            .unwrap()
+            .1;
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmttkrp_matches_bruteforce() {
+        let t = generate::tensor3_uniform([5, 6, 7], 40, 8);
+        let ldim = 3;
+        let c = generate::dense_buffer(6, ldim, 9);
+        let d = generate::dense_buffer(7, ldim, 10);
+        let a = spmttkrp(&t, &c, &d, ldim);
+        let mut expect = vec![0.0; 5 * ldim];
+        for (co, v) in t.to_coo() {
+            let (i, j, k) = (co[0] as usize, co[1] as usize, co[2] as usize);
+            for l in 0..ldim {
+                expect[i * ldim + l] += v * c[j * ldim + l] * d[k * ldim + l];
+            }
+        }
+        assert!(approx_eq(&a, &expect, 1e-12));
+    }
+
+    #[test]
+    fn spmm_dense_identity() {
+        let b = csr_from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let c = generate::dense_buffer(3, 4, 11);
+        assert!(approx_eq(&spmm(&b, &c, 4), &c, 1e-12));
+        let _ = dense_matrix(3, 4, c); // exercise helper
+    }
+
+    #[test]
+    fn approx_eq_tolerates() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-13], 1e-12));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-12));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-12));
+    }
+}

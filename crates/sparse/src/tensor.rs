@@ -1,0 +1,376 @@
+//! The sparse tensor data structure: a coordinate tree stored level by level
+//! (Section III-B of the paper, following TACO's format abstraction).
+//!
+//! A tensor of order *k* stores each of its *k* dimensions with a *level
+//! format*. A `Dense` level stores all coordinates of the dimension as an
+//! implicit range `[0, size)`. A `Compressed` level stores only the non-zero
+//! coordinates with a `pos`/`crd` pair, where — following SpDISTAL rather
+//! than classic TACO — `pos` holds inclusive `(lo, hi)` *interval tuples*
+//! into `crd` so that partitions of `pos` and `crd` can be related with the
+//! dependent-partitioning operators `image` and `preimage` (Figure 7).
+
+use spdistal_runtime::Rect1;
+
+/// Per-dimension storage format selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LevelFormat {
+    /// All coordinates of the dimension, stored implicitly.
+    Dense,
+    /// Only non-zero coordinates, stored with `pos`/`crd` arrays.
+    Compressed,
+    /// Exactly one coordinate per parent entry, stored with a `crd` array
+    /// only (no `pos`). `{Compressed, Singleton}` is TACO's COO matrix
+    /// layout: the compressed level keeps duplicate outer coordinates, and
+    /// each carries a single inner coordinate.
+    Singleton,
+}
+
+/// Physical storage of one coordinate-tree level.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Level {
+    /// A dense level of extent `size`: parent entry `p` has children
+    /// `p*size + c` for every coordinate `c` in `[0, size)`.
+    Dense { size: usize },
+    /// A compressed level: parent entry `p` has children at positions
+    /// `pos[p].lo ..= pos[p].hi` of `crd`; the child coordinate value is
+    /// `crd[q]`.
+    Compressed { pos: Vec<Rect1>, crd: Vec<i64> },
+    /// A singleton level: parent entry `p` has exactly one child, itself at
+    /// entry `p`, with coordinate `crd[p]`.
+    Singleton { crd: Vec<i64> },
+}
+
+impl Level {
+    /// The level format this storage implements.
+    pub fn format(&self) -> LevelFormat {
+        match self {
+            Level::Dense { .. } => LevelFormat::Dense,
+            Level::Compressed { .. } => LevelFormat::Compressed,
+            Level::Singleton { .. } => LevelFormat::Singleton,
+        }
+    }
+
+    /// Number of entries (coordinate-tree nodes) in this level, given the
+    /// number of entries in the parent level.
+    pub fn num_entries(&self, parent_entries: usize) -> usize {
+        match self {
+            Level::Dense { size } => parent_entries * size,
+            Level::Compressed { crd, .. } => crd.len(),
+            Level::Singleton { crd } => {
+                debug_assert_eq!(crd.len(), parent_entries);
+                parent_entries
+            }
+        }
+    }
+}
+
+/// A sparse tensor: ordered levels plus a values array.
+///
+/// Dimensions are indexed in *storage order*: `dims()[0]` is the outermost
+/// stored dimension. A CSR matrix is `{Dense, Compressed}` over `(rows,
+/// cols)`; CSC is the same formats over `(cols, rows)` (the caller reorders
+/// coordinates when building).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpTensor {
+    dims: Vec<usize>,
+    levels: Vec<Level>,
+    vals: Vec<f64>,
+}
+
+impl SpTensor {
+    /// Assemble a tensor from parts, validating structural invariants.
+    pub fn from_parts(dims: Vec<usize>, levels: Vec<Level>, vals: Vec<f64>) -> Self {
+        assert_eq!(dims.len(), levels.len(), "one level per dimension");
+        let mut entries = 1usize;
+        for (d, level) in levels.iter().enumerate() {
+            match level {
+                Level::Dense { size } => assert_eq!(*size, dims[d], "dense level extent"),
+                Level::Compressed { pos, crd } => {
+                    assert_eq!(pos.len(), entries, "pos length == parent entries");
+                    debug_assert!(crd.iter().all(|&c| (c as usize) < dims[d]));
+                }
+                Level::Singleton { crd } => {
+                    assert_eq!(crd.len(), entries, "singleton crd length == parent entries");
+                    debug_assert!(crd.iter().all(|&c| (c as usize) < dims[d]));
+                }
+            }
+            entries = level.num_entries(entries);
+        }
+        assert_eq!(vals.len(), entries, "vals length == leaf entries");
+        SpTensor { dims, levels, vals }
+    }
+
+    /// Extents of the stored dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Tensor order (number of dimensions).
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The stored levels, outermost first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Storage of level `k`.
+    pub fn level(&self, k: usize) -> &Level {
+        &self.levels[k]
+    }
+
+    /// The values array (one entry per leaf-level entry; for a trailing
+    /// dense level this includes explicit zeros).
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable values (e.g. for output tensors that reuse an input pattern).
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Number of stored values, counting explicit zeros in trailing dense
+    /// levels.
+    pub fn num_stored(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of structurally non-zero stored values.
+    pub fn nnz(&self) -> usize {
+        if self
+            .levels
+            .last()
+            .is_some_and(|l| l.format() == LevelFormat::Dense)
+        {
+            self.vals.iter().filter(|v| **v != 0.0).count()
+        } else {
+            self.vals.len()
+        }
+    }
+
+    /// The per-dimension formats.
+    pub fn formats(&self) -> Vec<LevelFormat> {
+        self.levels.iter().map(Level::format).collect()
+    }
+
+    /// Estimated resident bytes of all arrays (used for OOM modeling).
+    pub fn bytes(&self) -> u64 {
+        let mut b = (self.vals.len() * std::mem::size_of::<f64>()) as u64;
+        for l in &self.levels {
+            match l {
+                Level::Compressed { pos, crd } => {
+                    b += (pos.len() * std::mem::size_of::<Rect1>()) as u64;
+                    b += (crd.len() * std::mem::size_of::<i64>()) as u64;
+                }
+                Level::Singleton { crd } => {
+                    b += (crd.len() * std::mem::size_of::<i64>()) as u64;
+                }
+                Level::Dense { .. } => {}
+            }
+        }
+        b
+    }
+
+    /// Visit every stored entry `(coordinates, value)` in storage order.
+    /// Trailing-dense entries with value zero are visited too.
+    pub fn for_each(&self, mut f: impl FnMut(&[i64], f64)) {
+        let mut coord = vec![0i64; self.order()];
+        self.walk(0, 0, &mut coord, &mut f);
+    }
+
+    fn walk(
+        &self,
+        level: usize,
+        entry: usize,
+        coord: &mut Vec<i64>,
+        f: &mut impl FnMut(&[i64], f64),
+    ) {
+        if level == self.order() {
+            f(coord, self.vals[entry]);
+            return;
+        }
+        match &self.levels[level] {
+            Level::Dense { size } => {
+                for c in 0..*size {
+                    coord[level] = c as i64;
+                    self.walk(level + 1, entry * size + c, coord, f);
+                }
+            }
+            Level::Compressed { pos, crd } => {
+                let r = pos[entry];
+                if r.is_empty() {
+                    return;
+                }
+                for q in r.lo..=r.hi {
+                    coord[level] = crd[q as usize];
+                    self.walk(level + 1, q as usize, coord, f);
+                }
+            }
+            Level::Singleton { crd } => {
+                coord[level] = crd[entry];
+                self.walk(level + 1, entry, coord, f);
+            }
+        }
+    }
+
+    /// Flatten to coordinate form (structural non-zeros only).
+    pub fn to_coo(&self) -> Vec<(Vec<i64>, f64)> {
+        let mut out = Vec::new();
+        let trailing_dense = self
+            .levels
+            .last()
+            .is_some_and(|l| l.format() == LevelFormat::Dense);
+        self.for_each(|c, v| {
+            if !trailing_dense || v != 0.0 {
+                out.push((c.to_vec(), v));
+            }
+        });
+        out
+    }
+
+    /// CSR accessors for a `{Dense, Compressed}` matrix: `(pos, crd, vals)`.
+    pub fn csr_views(&self) -> Option<(&[Rect1], &[i64], &[f64])> {
+        if self.order() != 2 {
+            return None;
+        }
+        match (&self.levels[0], &self.levels[1]) {
+            (Level::Dense { .. }, Level::Compressed { pos, crd }) => {
+                Some((pos, crd, &self.vals))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of non-zeros in row `i` of a CSR matrix.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        match &self.levels[1] {
+            Level::Compressed { pos, .. } => pos[i].len() as usize,
+            Level::Dense { size } => *size,
+            Level::Singleton { .. } => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4x4 matrix of Figure 3 / Figure 7 in CSR.
+    pub fn fig7_matrix() -> SpTensor {
+        SpTensor::from_parts(
+            vec![4, 4],
+            vec![
+                Level::Dense { size: 4 },
+                Level::Compressed {
+                    pos: vec![
+                        Rect1::new(0, 2),
+                        Rect1::new(3, 4),
+                        Rect1::new(5, 5),
+                        Rect1::new(6, 7),
+                    ],
+                    crd: vec![0, 1, 3, 1, 3, 0, 0, 3],
+                },
+            ],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+    }
+
+    #[test]
+    fn csr_roundtrip_coo() {
+        let t = fig7_matrix();
+        assert_eq!(t.nnz(), 8);
+        let coo = t.to_coo();
+        assert_eq!(coo.len(), 8);
+        assert_eq!(coo[0], (vec![0, 0], 1.0));
+        assert_eq!(coo[2], (vec![0, 3], 3.0));
+        assert_eq!(coo[7], (vec![3, 3], 8.0));
+    }
+
+    #[test]
+    fn dense_vector() {
+        let t = SpTensor::from_parts(
+            vec![4],
+            vec![Level::Dense { size: 4 }],
+            vec![1.0, 0.0, 2.0, 0.0],
+        );
+        assert_eq!(t.num_stored(), 4);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.to_coo(), vec![(vec![0], 1.0), (vec![2], 2.0)]);
+    }
+
+    #[test]
+    fn empty_rows_skipped() {
+        let t = SpTensor::from_parts(
+            vec![3, 4],
+            vec![
+                Level::Dense { size: 3 },
+                Level::Compressed {
+                    pos: vec![Rect1::new(0, 0), Rect1::empty(), Rect1::new(1, 1)],
+                    crd: vec![2, 0],
+                },
+            ],
+            vec![5.0, 6.0],
+        );
+        let coo = t.to_coo();
+        assert_eq!(coo, vec![(vec![0, 2], 5.0), (vec![2, 0], 6.0)]);
+        assert_eq!(t.row_nnz(0), 1);
+        assert_eq!(t.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn csf_3tensor_walk() {
+        // Two slices: slice 0 has rows {0: [1], 2: [0,3]}, slice 2 has row {1: [2]}.
+        let t = SpTensor::from_parts(
+            vec![3, 3, 4],
+            vec![
+                Level::Compressed {
+                    pos: vec![Rect1::new(0, 1)],
+                    crd: vec![0, 2],
+                },
+                Level::Compressed {
+                    pos: vec![Rect1::new(0, 1), Rect1::new(2, 2)],
+                    crd: vec![0, 2, 1],
+                },
+                Level::Compressed {
+                    pos: vec![Rect1::new(0, 0), Rect1::new(1, 2), Rect1::new(3, 3)],
+                    crd: vec![1, 0, 3, 2],
+                },
+            ],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        assert_eq!(
+            t.to_coo(),
+            vec![
+                (vec![0, 0, 1], 1.0),
+                (vec![0, 2, 0], 2.0),
+                (vec![0, 2, 3], 3.0),
+                (vec![2, 1, 2], 4.0),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pos length")]
+    fn bad_pos_length_rejected() {
+        SpTensor::from_parts(
+            vec![2, 2],
+            vec![
+                Level::Dense { size: 2 },
+                Level::Compressed {
+                    pos: vec![Rect1::new(0, 0)],
+                    crd: vec![0],
+                },
+            ],
+            vec![1.0],
+        );
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let t = fig7_matrix();
+        // vals 8*8 + pos 4*16 + crd 8*8 = 64 + 64 + 64
+        assert_eq!(t.bytes(), 192);
+    }
+}

@@ -1,0 +1,73 @@
+//! Kernel fusion (Section VI, SpAdd3): SpDISTAL compiles
+//! `A = B + C + D` into one fused pass with a single assembly, while
+//! library baselines compose two binary additions with a materialized
+//! temporary — the locality and assembly overhead behind the paper's
+//! 11.8x / 38.5x / 19.2x gaps.
+//!
+//! ```text
+//! cargo run --release --example fused_addition
+//! ```
+
+use spdistal_repro::baselines::{ctf, petsc, trilinos};
+use spdistal_repro::spdistal::prelude::*;
+use spdistal_repro::spdistal::{access, assign, schedule_outer_dim};
+use spdistal_repro::sparse::{generate, reference};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pieces = 8;
+    let b = generate::rmat_default(13, 160_000, 31);
+    let c = generate::shift_last_dim(&b, 1);
+    let d = generate::shift_last_dim(&b, 2);
+    let (rows, cols) = (b.dims()[0], b.dims()[1]);
+    let machine = Machine::grid1d(pieces, MachineProfile::lassen_cpu());
+
+    // SpDISTAL: one fused, row-distributed pass with two-phase assembly.
+    let mut ctx = Context::new(machine.clone());
+    ctx.add_tensor("B", b.clone(), Format::blocked_csr())?;
+    ctx.add_tensor("C", c.clone(), Format::blocked_csr())?;
+    ctx.add_tensor("D", d.clone(), Format::blocked_csr())?;
+    ctx.add_tensor(
+        "A",
+        spdistal_repro::spdistal::plan::empty_csr(rows, cols),
+        Format::blocked_csr(),
+    )?;
+    let [i, j] = ctx.fresh_vars(["i", "j"]);
+    let stmt = assign(
+        "A",
+        &[i, j],
+        access("B", &[i, j]) + access("C", &[i, j]) + access("D", &[i, j]),
+    );
+    let sched = schedule_outer_dim(&mut ctx, &stmt, pieces, ParallelUnit::CpuThread);
+    let result = ctx.compile_and_run(&stmt, &sched)?;
+    let expect = reference::spadd3(&b, &c, &d);
+    assert!(reference::tensors_approx_eq(
+        result.output.as_tensor().unwrap(),
+        &expect,
+        1e-12
+    ));
+
+    // Baselines: pairwise composition.
+    let (petsc_r, petsc_out) = petsc::spadd3(&machine, &b, &c, &d);
+    let (tril_r, _) = trilinos::spadd3(&machine, &b, &c, &d);
+    let (ctf_r, _) = ctf::spadd3(&machine, &b, &c, &d);
+    assert!(reference::tensors_approx_eq(&petsc_out, &expect, 1e-12));
+
+    println!("A = B + C + D on {pieces} simulated nodes ({} nnz inputs)", b.nnz());
+    println!("{:<22}{:>14}{:>12}", "system", "time (ms)", "vs SpDISTAL");
+    let rows_out = [
+        ("SpDISTAL (fused)", result.time),
+        ("PETSc (pairwise)", petsc_r.time),
+        ("Trilinos (pairwise)", tril_r.time),
+        ("CTF (interpreted)", ctf_r.time),
+    ];
+    for (name, t) in rows_out {
+        println!(
+            "{:<22}{:>14.4}{:>11.1}x",
+            name,
+            t * 1e3,
+            t / result.time
+        );
+    }
+    println!("\nfusion avoids the materialized temporary and its second assembly pass.");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Root crate of the SpDISTAL reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). It re-exports the member crates
+//! so examples can use a single import root.
+
+pub use spdistal;
+pub use spdistal_baselines as baselines;
+pub use spdistal_ir as ir;
+pub use spdistal_runtime as runtime;
+pub use spdistal_sparse as sparse;
