@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus hygiene: everything a PR must keep green.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
+cargo test --workspace -q
+
+echo "==> bench smoke: parallel_exec (serial vs parallel wall-clock)"
+cargo bench -p spdistal-bench --bench parallel_exec
+
+echo "==> bench smoke: fig10 strong scaling (small scale)"
+SPDISTAL_SCALE=0.05 cargo run --release -q -p spdistal-bench --bin fig10_cpu_strong_scaling
+
+echo "ci.sh: all green"

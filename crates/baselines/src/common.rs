@@ -96,9 +96,8 @@ impl<'m> BspModel<'m> {
         let link = self.machine.profile().inter_link;
         let per_proc = total_bytes / p;
         // Each processor exchanges its share with every peer.
-        self.time += (p - 1) as f64 * link.latency + per_proc as f64 / link.bandwidth
-            * ((p - 1) as f64 / p as f64)
-            * 2.0;
+        self.time += (p - 1) as f64 * link.latency
+            + per_proc as f64 / link.bandwidth * ((p - 1) as f64 / p as f64) * 2.0;
         self.comm_bytes += total_bytes;
         self.messages += p * (p - 1);
         self.barrier();
@@ -124,12 +123,17 @@ impl<'m> BspModel<'m> {
 /// effective work is its *slowest rank's* chunk times the rank count
 /// (static intra-node partitioning cannot rebalance, unlike OpenMP dynamic
 /// scheduling).
-pub fn row_block_ops(b: &SpTensor, procs: usize, ranks_per_proc: usize, ops_per_nnz: f64) -> Vec<f64> {
+pub fn row_block_ops(
+    b: &SpTensor,
+    procs: usize,
+    ranks_per_proc: usize,
+    ops_per_nnz: f64,
+) -> Vec<f64> {
     let rows = b.dims()[0];
     let total_ranks = procs * ranks_per_proc;
     let rows_per_rank = rows.div_ceil(total_ranks);
     let mut out = vec![0.0; procs];
-    for p in 0..procs {
+    for (p, slot) in out.iter_mut().enumerate() {
         let mut worst = 0u64;
         for r in 0..ranks_per_proc {
             let rank = p * ranks_per_proc + r;
@@ -138,7 +142,7 @@ pub fn row_block_ops(b: &SpTensor, procs: usize, ranks_per_proc: usize, ops_per_
             let nnz: u64 = (lo..hi).map(|i| b.row_nnz(i) as u64).sum();
             worst = worst.max(nnz);
         }
-        out[p] = worst as f64 * ranks_per_proc as f64 * ops_per_nnz;
+        *slot = worst as f64 * ranks_per_proc as f64 * ops_per_nnz;
     }
     out
 }

@@ -65,12 +65,7 @@ pub fn spmv(machine: &Machine, b: &SpTensor, c: &[f64]) -> (BaselineResult, Vec<
 }
 
 /// `A = B * C` interpreted as one contraction (2-D decomposition).
-pub fn spmm(
-    machine: &Machine,
-    b: &SpTensor,
-    c: &[f64],
-    jdim: usize,
-) -> (BaselineResult, Vec<f64>) {
+pub fn spmm(machine: &Machine, b: &SpTensor, c: &[f64], jdim: usize) -> (BaselineResult, Vec<f64>) {
     let mut bsp = BspModel::new(machine);
     let procs = machine.num_procs();
     contraction_step(
@@ -206,7 +201,9 @@ fn block_ops(per_slice: &[u64], procs: usize, factor: f64) -> Vec<f64> {
     let per = n.div_ceil(procs);
     (0..procs)
         .map(|p| {
-            let lo = p * per;
+            // Trailing processors may own no slices at all when the slice
+            // count is small (e.g. tiny dataset scales): clamp both ends.
+            let lo = (p * per).min(n);
             let hi = ((p + 1) * per).min(n);
             per_slice[lo..hi].iter().sum::<u64>() as f64 * factor
         })

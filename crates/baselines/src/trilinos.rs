@@ -59,12 +59,7 @@ pub fn spmv(machine: &Machine, b: &SpTensor, c: &[f64]) -> (BaselineResult, Vec<
 }
 
 /// `A = B * C` with dense `C` (TpetraExt::MatrixMatrix).
-pub fn spmm(
-    machine: &Machine,
-    b: &SpTensor,
-    c: &[f64],
-    jdim: usize,
-) -> (BaselineResult, Vec<f64>) {
+pub fn spmm(machine: &Machine, b: &SpTensor, c: &[f64], jdim: usize) -> (BaselineResult, Vec<f64>) {
     let mut bsp = BspModel::new(machine);
     let procs = machine.num_procs();
     // One import gathers all needed C rows up front.

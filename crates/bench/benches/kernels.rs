@@ -53,15 +53,19 @@ fn end_to_end(c: &mut Criterion) {
     for kern in [Kern::SpMv, Kern::SpMm, Kern::SpAdd3, Kern::Sddmm] {
         let inputs = make_inputs(kern, &mat);
         let nonzero = kern == Kern::Sddmm;
-        g.bench_with_input(BenchmarkId::new("matrix", kern.name()), &inputs, |b, inp| {
-            b.iter(|| run_spdistal(kern, inp, 4, &profile, nonzero).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("matrix", kern.name()),
+            &inputs,
+            |b, inp| b.iter(|| run_spdistal(kern, inp, 4, &profile, nonzero).unwrap()),
+        );
     }
     for kern in [Kern::SpTtv, Kern::SpMttkrp] {
         let inputs = make_inputs(kern, &t3);
-        g.bench_with_input(BenchmarkId::new("tensor", kern.name()), &inputs, |b, inp| {
-            b.iter(|| run_spdistal(kern, inp, 4, &profile, false).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tensor", kern.name()),
+            &inputs,
+            |b, inp| b.iter(|| run_spdistal(kern, inp, 4, &profile, false).unwrap()),
+        );
     }
     g.finish();
 }

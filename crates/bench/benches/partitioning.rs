@@ -15,18 +15,24 @@ fn partitioning(c: &mut Criterion) {
     let rows = b.dims()[0];
     let mut g = c.benchmark_group("coordinate_tree_partition");
     for colors in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("universe", colors), &colors, |bench, &cs| {
-            bench.iter(|| {
-                partition_tensor(
-                    &b,
-                    0,
-                    universe_partition(&b, 0, &equal_coord_bounds(rows, cs)),
-                )
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("nonzero", colors), &colors, |bench, &cs| {
-            bench.iter(|| partition_tensor(&b, 1, nonzero_partition(&b, 1, cs)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("universe", colors),
+            &colors,
+            |bench, &cs| {
+                bench.iter(|| {
+                    partition_tensor(
+                        &b,
+                        0,
+                        universe_partition(&b, 0, &equal_coord_bounds(rows, cs)),
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("nonzero", colors),
+            &colors,
+            |bench, &cs| bench.iter(|| partition_tensor(&b, 1, nonzero_partition(&b, 1, cs))),
+        );
     }
     g.finish();
 }

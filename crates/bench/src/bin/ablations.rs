@@ -135,9 +135,12 @@ fn spadd_pair(ctx_b: &SpTensor, ctx_c: &SpTensor, pieces: usize) -> (SpTensor, f
     let (rows, cols) = (ctx_b.dims()[0], ctx_b.dims()[1]);
     let empty = spdistal::plan::empty_csr(rows, cols);
     let mut ctx = Context::new(Machine::grid1d(pieces, cpu()));
-    ctx.add_tensor("B", ctx_b.clone(), Format::blocked_csr()).unwrap();
-    ctx.add_tensor("C", ctx_c.clone(), Format::blocked_csr()).unwrap();
-    ctx.add_tensor("Z", empty.clone(), Format::blocked_csr()).unwrap();
+    ctx.add_tensor("B", ctx_b.clone(), Format::blocked_csr())
+        .unwrap();
+    ctx.add_tensor("C", ctx_c.clone(), Format::blocked_csr())
+        .unwrap();
+    ctx.add_tensor("Z", empty.clone(), Format::blocked_csr())
+        .unwrap();
     ctx.add_tensor("A", empty, Format::blocked_csr()).unwrap();
     let [i, j] = ctx.fresh_vars(["i", "j"]);
     // Pairwise add expressed as a ternary with a structurally empty third
@@ -163,10 +166,15 @@ fn ablation_fusion() {
     // Fused: one pass, one assembly.
     let mut ctx = Context::new(Machine::grid1d(PIECES, cpu()));
     for (name, t) in [("B", &b), ("C", &c), ("D", &d)] {
-        ctx.add_tensor(name, t.clone(), Format::blocked_csr()).unwrap();
+        ctx.add_tensor(name, t.clone(), Format::blocked_csr())
+            .unwrap();
     }
-    ctx.add_tensor("A", spdistal::plan::empty_csr(rows, cols), Format::blocked_csr())
-        .unwrap();
+    ctx.add_tensor(
+        "A",
+        spdistal::plan::empty_csr(rows, cols),
+        Format::blocked_csr(),
+    )
+    .unwrap();
     let [i, j] = ctx.fresh_vars(["i", "j"]);
     let stmt = assign(
         "A",

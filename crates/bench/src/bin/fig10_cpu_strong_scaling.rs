@@ -13,7 +13,9 @@
 //! * SpMTTKRP: CTF's special kernel is competitive (paper: SpDISTAL at a
 //!   median 97% of CTF).
 
-use spdistal_bench::{cpu_profile, dataset_scale, make_inputs, median, run_baseline, run_spdistal, Kern};
+use spdistal_bench::{
+    cpu_profile, dataset_scale, make_inputs, median, run_baseline, run_spdistal, Kern,
+};
 use spdistal_runtime::Machine;
 use spdistal_sparse::dataset;
 

@@ -24,8 +24,10 @@ fn main() {
     let gpu = gpu_profile();
     let cpu = cpu_profile();
     println!("Figure 11: GPU strong scaling heatmaps (full-scale-equivalent ms; * marks fastest; DNC = does not complete)");
-    println!("dataset scale = {scale}, GPU memory = {} MiB (scaled V100)\n",
-        gpu.proc.mem_capacity / (1 << 20));
+    println!(
+        "dataset scale = {scale}, GPU memory = {} MiB (scaled V100)\n",
+        gpu.proc.mem_capacity / (1 << 20)
+    );
 
     let matrices = dataset::matrices();
 
@@ -33,40 +35,91 @@ fn main() {
     heatmap("SpMV", &matrices, &[1, 2, 4, 8], scale, |inputs, gpus| {
         let machine = Machine::grid1d(gpus, gpu.clone());
         vec![
-            ("SpDISTAL", run_spdistal(Kern::SpMv, inputs, gpus, &gpu, false)),
-            ("PETSc", flatten(run_baseline("petsc", Kern::SpMv, inputs, &machine))),
-            ("Trilinos", flatten(run_baseline("trilinos", Kern::SpMv, inputs, &machine))),
+            (
+                "SpDISTAL",
+                run_spdistal(Kern::SpMv, inputs, gpus, &gpu, false),
+            ),
+            (
+                "PETSc",
+                flatten(run_baseline("petsc", Kern::SpMv, inputs, &machine)),
+            ),
+            (
+                "Trilinos",
+                flatten(run_baseline("trilinos", Kern::SpMv, inputs, &machine)),
+            ),
         ]
     });
 
     // --- SpMM: non-zero (replicates C) vs batched vs baselines ----------
-    heatmap("SpMM", &matrices, &[4, 8, 16, 32, 64], scale, |inputs, gpus| {
-        let machine = Machine::grid1d(gpus, gpu.clone());
-        vec![
-            ("SpDISTAL", run_spdistal(Kern::SpMm, inputs, gpus, &gpu, true)),
-            ("SpD-Batched", run_spdistal_spmm_batched_auto(inputs, gpus, &gpu)),
-            ("PETSc", flatten(run_baseline("petsc", Kern::SpMm, inputs, &machine))),
-            ("Trilinos", flatten(run_baseline("trilinos", Kern::SpMm, inputs, &machine))),
-        ]
-    });
+    heatmap(
+        "SpMM",
+        &matrices,
+        &[4, 8, 16, 32, 64],
+        scale,
+        |inputs, gpus| {
+            let machine = Machine::grid1d(gpus, gpu.clone());
+            vec![
+                (
+                    "SpDISTAL",
+                    run_spdistal(Kern::SpMm, inputs, gpus, &gpu, true),
+                ),
+                (
+                    "SpD-Batched",
+                    run_spdistal_spmm_batched_auto(inputs, gpus, &gpu),
+                ),
+                (
+                    "PETSc",
+                    flatten(run_baseline("petsc", Kern::SpMm, inputs, &machine)),
+                ),
+                (
+                    "Trilinos",
+                    flatten(run_baseline("trilinos", Kern::SpMm, inputs, &machine)),
+                ),
+            ]
+        },
+    );
 
     // --- SpAdd3: row-based vs Trilinos (PETSc has no GPU SpAdd) ---------
-    heatmap("SpAdd3", &matrices, &[4, 8, 16, 32, 64], scale, |inputs, gpus| {
-        let machine = Machine::grid1d(gpus, gpu.clone());
-        vec![
-            ("SpDISTAL", run_spdistal(Kern::SpAdd3, inputs, gpus, &gpu, false)),
-            ("Trilinos", flatten(run_baseline("trilinos", Kern::SpAdd3, inputs, &machine))),
-        ]
-    });
+    heatmap(
+        "SpAdd3",
+        &matrices,
+        &[4, 8, 16, 32, 64],
+        scale,
+        |inputs, gpus| {
+            let machine = Machine::grid1d(gpus, gpu.clone());
+            vec![
+                (
+                    "SpDISTAL",
+                    run_spdistal(Kern::SpAdd3, inputs, gpus, &gpu, false),
+                ),
+                (
+                    "Trilinos",
+                    flatten(run_baseline("trilinos", Kern::SpAdd3, inputs, &machine)),
+                ),
+            ]
+        },
+    );
 
     // --- SDDMM: GPU non-zero schedule vs SpDISTAL's CPU kernel ----------
-    heatmap("SDDMM", &matrices, &[4, 8, 16, 32, 64], scale, |inputs, gpus| {
-        let cpu_nodes = (gpus / 4).max(1);
-        vec![
-            ("SpDISTAL", run_spdistal(Kern::Sddmm, inputs, gpus, &gpu, true)),
-            ("SpD-CPU", run_spdistal(Kern::Sddmm, inputs, cpu_nodes, &cpu, true)),
-        ]
-    });
+    heatmap(
+        "SDDMM",
+        &matrices,
+        &[4, 8, 16, 32, 64],
+        scale,
+        |inputs, gpus| {
+            let cpu_nodes = (gpus / 4).max(1);
+            vec![
+                (
+                    "SpDISTAL",
+                    run_spdistal(Kern::Sddmm, inputs, gpus, &gpu, true),
+                ),
+                (
+                    "SpD-CPU",
+                    run_spdistal(Kern::Sddmm, inputs, cpu_nodes, &cpu, true),
+                ),
+            ]
+        },
+    );
 }
 
 type SysResult = Result<spdistal_baselines::BaselineResult, String>;

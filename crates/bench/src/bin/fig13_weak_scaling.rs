@@ -8,7 +8,9 @@
 //! asynchronous execution avoiding the bulk-synchronous sync per
 //! iteration).
 
-use spdistal_bench::{cpu_profile, make_inputs, run_baseline, run_spdistal, time_scale, Kern, GPU_CAPACITY_SCALE};
+use spdistal_bench::{
+    cpu_profile, make_inputs, run_baseline, run_spdistal, time_scale, Kern, GPU_CAPACITY_SCALE,
+};
 use spdistal_runtime::{Machine, MachineProfile};
 use spdistal_sparse::generate;
 

@@ -160,7 +160,12 @@ pub fn run_spdistal(
     let stmt = match kern {
         Kern::SpMv => {
             let n = b.dims()[0];
-            add(&mut ctx, "a", dense_vector(vec![0.0; n]), Format::blocked_dense_vec())?;
+            add(
+                &mut ctx,
+                "a",
+                dense_vector(vec![0.0; n]),
+                Format::blocked_dense_vec(),
+            )?;
             add(
                 &mut ctx,
                 "c",
@@ -168,7 +173,11 @@ pub fn run_spdistal(
                 Format::replicated_dense_vec(),
             )?;
             let [i, j] = ctx.fresh_vars(["i", "j"]);
-            spdistal::assign("a", &[i], spdistal::access("B", &[i, j]) * spdistal::access("c", &[j]))
+            spdistal::assign(
+                "a",
+                &[i],
+                spdistal::access("B", &[i, j]) * spdistal::access("c", &[j]),
+            )
         }
         Kern::SpMm => {
             let (n, m) = (b.dims()[0], b.dims()[1]);
@@ -192,8 +201,18 @@ pub fn run_spdistal(
             )
         }
         Kern::SpAdd3 => {
-            add(&mut ctx, "C", inputs.csp.clone().unwrap(), Format::blocked_csr())?;
-            add(&mut ctx, "D", inputs.dsp.clone().unwrap(), Format::blocked_csr())?;
+            add(
+                &mut ctx,
+                "C",
+                inputs.csp.clone().unwrap(),
+                Format::blocked_csr(),
+            )?;
+            add(
+                &mut ctx,
+                "D",
+                inputs.dsp.clone().unwrap(),
+                Format::blocked_csr(),
+            )?;
             add(
                 &mut ctx,
                 "A",
@@ -339,18 +358,13 @@ pub fn run_spdistal_spmm_batched(
     let out_bytes = (b.dims()[0] * DENSE_WIDTH * 8) as u64;
     // Peak per-proc memory: B block + two C chunks (double buffer) + output
     // block.
-    let peak = b.bytes() / procs as u64 + 2 * c_bytes / rounds as u64
-        + out_bytes / procs as u64;
+    let peak = b.bytes() / procs as u64 + 2 * c_bytes / rounds as u64 + out_bytes / procs as u64;
     if peak > profile.proc.mem_capacity {
         return Err("OOM".into());
     }
     let mut bsp = spdistal_baselines::BspModel::new(&machine);
-    let per_round_ops: Vec<f64> = spdistal_baselines::common::row_block_ops(
-        b,
-        procs,
-        1,
-        DENSE_WIDTH as f64 / rounds as f64,
-    );
+    let per_round_ops: Vec<f64> =
+        spdistal_baselines::common::row_block_ops(b, procs, 1, DENSE_WIDTH as f64 / rounds as f64);
     for _ in 0..rounds {
         bsp.exchange_phase(&vec![c_bytes / rounds as u64; procs], 2);
         bsp.compute_phase(&per_round_ops);
@@ -369,9 +383,7 @@ pub fn run_baseline(
     let b = &inputs.b;
     let kind = machine.profile().proc.kind;
     match (system, kern) {
-        ("petsc", Kern::SpMv) => {
-            Some(Ok(petsc::spmv(machine, b, inputs.vec.as_ref().unwrap()).0))
-        }
+        ("petsc", Kern::SpMv) => Some(Ok(petsc::spmv(machine, b, inputs.vec.as_ref().unwrap()).0)),
         ("petsc", Kern::SpMm) => Some(Ok(petsc::spmm(
             machine,
             b,
@@ -387,7 +399,9 @@ pub fn run_baseline(
         )
         .0)),
         ("trilinos", Kern::SpMv) => {
-            Some(Ok(trilinos::spmv(machine, b, inputs.vec.as_ref().unwrap()).0))
+            Some(Ok(
+                trilinos::spmv(machine, b, inputs.vec.as_ref().unwrap()).0
+            ))
         }
         ("trilinos", Kern::SpMm) => Some(Ok(trilinos::spmm(
             machine,
@@ -412,33 +426,37 @@ pub fn run_baseline(
             }
             let r = match k {
                 Kern::SpMv => ctf::spmv(machine, b, inputs.vec.as_ref().unwrap()).0,
-                Kern::SpMm => {
-                    ctf::spmm(machine, b, inputs.cmat.as_ref().unwrap(), DENSE_WIDTH).0
+                Kern::SpMm => ctf::spmm(machine, b, inputs.cmat.as_ref().unwrap(), DENSE_WIDTH).0,
+                Kern::SpAdd3 => {
+                    ctf::spadd3(
+                        machine,
+                        b,
+                        inputs.csp.as_ref().unwrap(),
+                        inputs.dsp.as_ref().unwrap(),
+                    )
+                    .0
                 }
-                Kern::SpAdd3 => ctf::spadd3(
-                    machine,
-                    b,
-                    inputs.csp.as_ref().unwrap(),
-                    inputs.dsp.as_ref().unwrap(),
-                )
-                .0,
-                Kern::Sddmm => ctf::sddmm(
-                    machine,
-                    b,
-                    inputs.cmat.as_ref().unwrap(),
-                    inputs.dmat.as_ref().unwrap(),
-                    DENSE_WIDTH,
-                )
-                .0,
+                Kern::Sddmm => {
+                    ctf::sddmm(
+                        machine,
+                        b,
+                        inputs.cmat.as_ref().unwrap(),
+                        inputs.dmat.as_ref().unwrap(),
+                        DENSE_WIDTH,
+                    )
+                    .0
+                }
                 Kern::SpTtv => ctf::spttv(machine, b, inputs.vec.as_ref().unwrap()).0,
-                Kern::SpMttkrp => ctf::spmttkrp(
-                    machine,
-                    b,
-                    inputs.cmat.as_ref().unwrap(),
-                    inputs.dmat.as_ref().unwrap(),
-                    DENSE_WIDTH,
-                )
-                .0,
+                Kern::SpMttkrp => {
+                    ctf::spmttkrp(
+                        machine,
+                        b,
+                        inputs.cmat.as_ref().unwrap(),
+                        inputs.dmat.as_ref().unwrap(),
+                        DENSE_WIDTH,
+                    )
+                    .0
+                }
             };
             Some(Ok(r))
         }
@@ -454,7 +472,7 @@ fn stringify_err(e: spdistal::Error) -> String {
 }
 
 /// Median of a slice (NaN-free input assumed).
-pub fn median(xs: &mut Vec<f64>) -> f64 {
+pub fn median(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
@@ -518,9 +536,15 @@ mod tests {
         let mat = dataset::by_name("nlpkkt240").unwrap().generate(0.05);
         let inputs = make_inputs(Kern::SpMv, &mat);
         let m = Machine::grid1d(2, MachineProfile::lassen_cpu());
-        assert!(run_baseline("petsc", Kern::SpMv, &inputs, &m).unwrap().is_ok());
-        assert!(run_baseline("trilinos", Kern::SpMv, &inputs, &m).unwrap().is_ok());
-        assert!(run_baseline("ctf", Kern::SpMv, &inputs, &m).unwrap().is_ok());
+        assert!(run_baseline("petsc", Kern::SpMv, &inputs, &m)
+            .unwrap()
+            .is_ok());
+        assert!(run_baseline("trilinos", Kern::SpMv, &inputs, &m)
+            .unwrap()
+            .is_ok());
+        assert!(run_baseline("ctf", Kern::SpMv, &inputs, &m)
+            .unwrap()
+            .is_ok());
         assert!(run_baseline("petsc", Kern::Sddmm, &inputs, &m).is_none());
         let gm = Machine::grid1d(2, MachineProfile::lassen_gpu(1.0));
         assert!(run_baseline("ctf", Kern::SpMv, &inputs, &gm).is_none());
@@ -528,8 +552,8 @@ mod tests {
 
     #[test]
     fn median_works() {
-        assert_eq!(median(&mut vec![3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(&mut vec![4.0, 1.0, 2.0, 3.0]), 2.5);
-        assert!(median(&mut vec![]).is_nan());
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
     }
 }

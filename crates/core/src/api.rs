@@ -7,6 +7,7 @@
 //! distribution (Section II-D).
 
 use spdistal_ir::{Access, Assignment, Expr, IndexVar, ParallelUnit, Schedule};
+use spdistal_runtime::ExecMode;
 
 use crate::codegen::{self, Plan};
 use crate::dist_tensor::{Context, Error};
@@ -31,6 +32,18 @@ impl Context {
     /// Execute a compiled plan, returning simulated timing and the output.
     pub fn run(&mut self, plan: &Plan) -> Result<ExecResult, Error> {
         plan::execute(self, plan)
+    }
+
+    /// Execute a compiled plan under a specific [`ExecMode`], restoring the
+    /// context's previous mode afterwards. Parallel execution is
+    /// bit-identical to serial: conflicting tasks are serialized in color
+    /// order by the dependence graph and reductions combine in color order.
+    pub fn run_with_mode(&mut self, plan: &Plan, mode: ExecMode) -> Result<ExecResult, Error> {
+        let prev = self.exec_mode();
+        self.set_exec_mode(mode);
+        let result = plan::execute(self, plan);
+        self.set_exec_mode(prev);
+        result
     }
 
     /// Compile and execute in one step.
@@ -66,10 +79,16 @@ impl Context {
                 .ok_or_else(|| Error::Unsupported("empty machine dimension".into()))?;
                 for (k, lr) in regions.levels.iter().enumerate() {
                     if let LevelRegions::Compressed { pos, crd } = lr {
-                        self.runtime_mut()
-                            .attach(*pos, proc, part.pos_partition(k).subset(color).clone())?;
-                        self.runtime_mut()
-                            .attach(*crd, proc, part.entries[k].subset(color).clone())?;
+                        self.runtime_mut().attach(
+                            *pos,
+                            proc,
+                            part.pos_partition(k).subset(color).clone(),
+                        )?;
+                        self.runtime_mut().attach(
+                            *crd,
+                            proc,
+                            part.entries[k].subset(color).clone(),
+                        )?;
                     }
                 }
                 self.runtime_mut()
@@ -166,7 +185,8 @@ mod tests {
 
         ctx.add_tensor("a", dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
             .unwrap();
-        ctx.add_tensor("B", b.clone(), Format::blocked_csr()).unwrap();
+        ctx.add_tensor("B", b.clone(), Format::blocked_csr())
+            .unwrap();
         ctx.add_tensor(
             "c",
             dense_vector(cdata.clone()),
@@ -195,7 +215,8 @@ mod tests {
         let cdata = generate::dense_vec(m, 4);
         ctx.add_tensor("a", dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
             .unwrap();
-        ctx.add_tensor("B", b.clone(), Format::nonzero_csr()).unwrap();
+        ctx.add_tensor("B", b.clone(), Format::nonzero_csr())
+            .unwrap();
         ctx.add_tensor(
             "c",
             dense_vector(cdata.clone()),

@@ -29,8 +29,7 @@ use spdistal_sparse::{Level, SpTensor};
 use crate::dist_tensor::{Context, Error};
 use crate::kernels::{self, LeafKernel};
 use crate::level_funcs::{
-    nonzero_partition, partition_tensor, replicated_partition, universe_partition,
-    TensorPartition,
+    nonzero_partition, partition_tensor, replicated_partition, universe_partition, TensorPartition,
 };
 
 /// How the output tensor is produced.
@@ -155,8 +154,7 @@ pub fn compile_nest(ctx: &Context, nest: &LoopNest) -> Result<Plan, Error> {
                 .accesses()
                 .into_iter()
                 .find(|a| {
-                    a.indices.first() == Some(root)
-                        && lookup(&a.tensor).is_some_and(|(_, s, _)| s)
+                    a.indices.first() == Some(root) && lookup(&a.tensor).is_some_and(|(_, s, _)| s)
                 })
                 .ok_or_else(|| {
                     Error::Unsupported(
@@ -188,9 +186,7 @@ pub fn compile_nest(ctx: &Context, nest: &LoopNest) -> Result<Plan, Error> {
         part: driver_part.clone(),
     }];
     for access in stmt.rhs.accesses() {
-        if access.tensor == driver_name
-            || inputs.iter().any(|i| i.tensor == access.tensor)
-        {
+        if access.tensor == driver_name || inputs.iter().any(|i| i.tensor == access.tensor) {
             continue;
         }
         let t = ctx.tensor(&access.tensor)?;
@@ -325,10 +321,7 @@ fn dense_operand_partition(
                             rset.rects()
                                 .iter()
                                 .map(|r| {
-                                    Rect1::new(
-                                        r.lo * cols as i64,
-                                        (r.hi + 1) * cols as i64 - 1,
-                                    )
+                                    Rect1::new(r.lo * cols as i64, (r.hi + 1) * cols as i64 - 1)
                                 })
                                 .collect(),
                         )
@@ -380,12 +373,8 @@ fn plan_output(
 
     let (kind, part) = match kernel {
         LeafKernel::SpMv => (OutKind::DenseVec, coord_part),
-        LeafKernel::SpMm { jdim } => {
-            (OutKind::DenseMat { width: *jdim }, coord_part)
-        }
-        LeafKernel::SpMttkrp { ldim } => {
-            (OutKind::DenseMat { width: *ldim }, coord_part)
-        }
+        LeafKernel::SpMm { jdim } => (OutKind::DenseMat { width: *jdim }, coord_part),
+        LeafKernel::SpMttkrp { ldim } => (OutKind::DenseMat { width: *ldim }, coord_part),
         LeafKernel::Sddmm { .. } => (
             OutKind::PatternVals {
                 level: driver.order() - 1,
@@ -396,10 +385,7 @@ fn plan_output(
             OutKind::PatternVals { level: 1 },
             driver_part.entries[1].clone(),
         ),
-        LeafKernel::SpAdd3 => (
-            OutKind::SparseAssembled,
-            Partition::empty(0, colors),
-        ),
+        LeafKernel::SpAdd3 => (OutKind::SparseAssembled, Partition::empty(0, colors)),
         LeafKernel::Generic => {
             // Interpreted fallback: dense output over the lhs space.
             if stmt.lhs.indices.len() == 1 {

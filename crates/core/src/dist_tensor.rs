@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use spdistal_ir::tdn::DistSpec;
 use spdistal_ir::{Format, IndexVar, SchedError, TdnError, VarCtx};
 use spdistal_runtime::{
-    IntervalSet, Machine, Partition, Rect1, RegionId, Runtime, RuntimeError,
+    ExecMode, IntervalSet, Machine, Partition, Rect1, RegionId, Runtime, RuntimeError,
 };
 use spdistal_sparse::{Level, SpTensor};
 
@@ -108,6 +108,7 @@ pub struct Context {
     runtime: Runtime,
     tensors: BTreeMap<String, DistTensor>,
     vars: VarCtx,
+    exec_mode: ExecMode,
 }
 
 impl Context {
@@ -116,7 +117,27 @@ impl Context {
             runtime: Runtime::new(machine),
             tensors: BTreeMap::new(),
             vars: VarCtx::new(),
+            exec_mode: ExecMode::Serial,
         }
+    }
+
+    /// How leaf kernels execute: the serial reference path, or the
+    /// dependence-driven work-stealing pool
+    /// ([`ExecMode::Parallel`]`(n_threads)`). Either way the discrete-event
+    /// simulator stays the cost model; the executor only changes how the
+    /// real compute phase runs (and reports its wall-clock time).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// Builder-style variant of [`Context::set_exec_mode`].
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
     }
 
     pub fn machine(&self) -> &Machine {
@@ -315,8 +336,11 @@ impl Context {
                 for (k, lr) in regions.levels.iter().enumerate() {
                     match lr {
                         LevelRegions::Compressed { pos, crd } => {
-                            self.runtime
-                                .attach(*pos, p, part.pos_partition(k).subset(color).clone())?;
+                            self.runtime.attach(
+                                *pos,
+                                p,
+                                part.pos_partition(k).subset(color).clone(),
+                            )?;
                             self.runtime
                                 .attach(*crd, p, part.entries[k].subset(color).clone())?;
                         }
@@ -409,8 +433,12 @@ mod tests {
     #[test]
     fn replicated_vector_everywhere() {
         let mut c = ctx(3);
-        c.add_tensor("c", dense_vector(vec![1.0; 100]), Format::replicated_dense_vec())
-            .unwrap();
+        c.add_tensor(
+            "c",
+            dense_vector(vec![1.0; 100]),
+            Format::replicated_dense_vec(),
+        )
+        .unwrap();
         let t = c.tensor("c").unwrap();
         for p in 0..3 {
             assert_eq!(c.runtime().valid_in(t.regions.vals, p).total_len(), 100);
@@ -454,8 +482,12 @@ mod tests {
     #[test]
     fn replace_tensor_data_checks_dims() {
         let mut c = ctx(2);
-        c.add_tensor("a", dense_vector(vec![0.0; 10]), Format::blocked_dense_vec())
-            .unwrap();
+        c.add_tensor(
+            "a",
+            dense_vector(vec![0.0; 10]),
+            Format::blocked_dense_vec(),
+        )
+        .unwrap();
         assert!(c
             .replace_tensor_data("a", dense_vector(vec![0.0; 11]))
             .is_err());

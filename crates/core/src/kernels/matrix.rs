@@ -53,6 +53,7 @@ pub fn spmm_color(
 
 /// SDDMM for one color: `A(i,j) = B(i,j) * (C(i,:) · D(:,j))`. Writes into
 /// `out_vals`, which shares `B`'s pattern (position-aligned).
+#[allow(clippy::too_many_arguments)]
 pub fn sddmm_color(
     b: &SpTensor,
     part: &TensorPartition,
@@ -183,10 +184,7 @@ pub fn assemble_rows(rows: usize, cols: usize, mut parts: Vec<AddRow>) -> SpTens
     }
     SpTensor::from_parts(
         vec![rows, cols],
-        vec![
-            Level::Dense { size: rows },
-            Level::Compressed { pos, crd },
-        ],
+        vec![Level::Dense { size: rows }, Level::Compressed { pos, crd }],
         vals,
     )
 }
@@ -285,11 +283,7 @@ mod tests {
         let a = (vec![0i64, 2, 5], vec![1.0, 2.0, 3.0]);
         let b = (vec![2i64, 5], vec![10.0, 20.0]);
         let c = (vec![1i64], vec![100.0]);
-        let (cols, vals) = merge3(&[
-            (&a.0, &a.1),
-            (&b.0, &b.1),
-            (&c.0, &c.1),
-        ]);
+        let (cols, vals) = merge3(&[(&a.0, &a.1), (&b.0, &b.1), (&c.0, &c.1)]);
         assert_eq!(cols, vec![0, 1, 2, 5]);
         assert_eq!(vals, vec![1.0, 100.0, 12.0, 23.0]);
     }

@@ -37,17 +37,18 @@ pub enum LeafKernel {
     Generic,
 }
 
+/// What [`recognize`]'s `lookup` reports per tensor:
+/// `(order, is_sparse, dims)`.
+pub type TensorInfo = (usize, bool, Vec<usize>);
+
 /// Recognize the statement shape. `lookup(name)` returns
 /// `(order, is_sparse, dims)` for a tensor.
-pub fn recognize(
-    stmt: &Assignment,
-    lookup: &dyn Fn(&str) -> Option<(usize, bool, Vec<usize>)>,
-) -> LeafKernel {
+pub fn recognize(stmt: &Assignment, lookup: &dyn Fn(&str) -> Option<TensorInfo>) -> LeafKernel {
     let sop = stmt.rhs.sum_of_products();
     let lhs = &stmt.lhs;
 
     let info = |t: &str| lookup(t);
-    fn access_of<'a>(term: &'a [Term]) -> Vec<&'a spdistal_ir::Access> {
+    fn access_of(term: &[Term]) -> Vec<&spdistal_ir::Access> {
         term.iter()
             .filter_map(|t| match t {
                 Term::Access(a) => Some(a),
@@ -158,17 +159,16 @@ pub fn recognize(
     }
 }
 
+/// The visitor callback of [`walk_partitioned`]:
+/// `f(coords, level_entries, value)`.
+pub type EntryVisitor<'a> = dyn FnMut(&[i64], &[usize], f64) + 'a;
+
 /// Walk the stored entries of `t` owned by `color` under `part`, calling
 /// `f(coords, level_entries, value)` for each. Iteration at every level is
 /// clamped to the color's entry partition, so aliased partitions (e.g.
 /// boundary rows of a non-zero split) visit exactly the positions the color
 /// owns at the leaf level.
-pub fn walk_partitioned(
-    t: &SpTensor,
-    part: &TensorPartition,
-    color: usize,
-    f: &mut dyn FnMut(&[i64], &[usize], f64),
-) {
+pub fn walk_partitioned(t: &SpTensor, part: &TensorPartition, color: usize, f: &mut EntryVisitor) {
     let mut coords = vec![0i64; t.order()];
     let mut entries = vec![0usize; t.order()];
     walk_rec(t, part, color, 0, 0, &mut coords, &mut entries, f);
@@ -183,7 +183,7 @@ fn walk_rec(
     parent_entry: usize,
     coords: &mut Vec<i64>,
     entries: &mut Vec<usize>,
-    f: &mut dyn FnMut(&[i64], &[usize], f64),
+    f: &mut EntryVisitor,
 ) {
     if level == t.order() {
         f(coords, entries, t.vals()[parent_entry]);
@@ -333,7 +333,10 @@ mod tests {
             });
         }
         assert_eq!(seen.len(), nnz);
-        assert!(seen.iter().all(|&s| s == 1), "each nnz visited exactly once");
+        assert!(
+            seen.iter().all(|&s| s == 1),
+            "each nnz visited exactly once"
+        );
     }
 
     #[test]

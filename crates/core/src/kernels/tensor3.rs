@@ -43,11 +43,7 @@ pub fn spmttkrp_color(
 ) -> f64 {
     let mut ops = 0u64;
     walk_partitioned(b, part, color, &mut |coords, _, v| {
-        let (i, j, k) = (
-            coords[0] as usize,
-            coords[1] as usize,
-            coords[2] as usize,
-        );
+        let (i, j, k) = (coords[0] as usize, coords[1] as usize, coords[2] as usize);
         let arow = &mut out[i * ldim..(i + 1) * ldim];
         let crow = &c[j * ldim..(j + 1) * ldim];
         let drow = &d[k * ldim..(k + 1) * ldim];
@@ -95,7 +91,10 @@ mod tests {
                 spttv_color(&b, &pu, col, &c, &mut fibers);
             }
             let got = to_dense(&spttv_output(&b, fibers));
-            assert!(reference::approx_eq(&got, &expect, 1e-12), "universe {colors}");
+            assert!(
+                reference::approx_eq(&got, &expect, 1e-12),
+                "universe {colors}"
+            );
             // Value-based (non-zero on level 2).
             let pz = partition_tensor(&b, 2, nonzero_partition(&b, 2, colors));
             let mut fibers2 = vec![0.0; entry_counts(&b)[1] as usize];
@@ -103,7 +102,10 @@ mod tests {
                 spttv_color(&b, &pz, col, &c, &mut fibers2);
             }
             let got2 = to_dense(&spttv_output(&b, fibers2));
-            assert!(reference::approx_eq(&got2, &expect, 1e-12), "nonzero {colors}");
+            assert!(
+                reference::approx_eq(&got2, &expect, 1e-12),
+                "nonzero {colors}"
+            );
         }
     }
 
@@ -114,11 +116,7 @@ mod tests {
         let c = generate::dense_buffer(14, ldim, 4);
         let d = generate::dense_buffer(16, ldim, 5);
         let expect = reference::spmttkrp(&b, &c, &d, ldim);
-        let p = partition_tensor(
-            &b,
-            0,
-            universe_partition(&b, 0, &equal_coord_bounds(12, 3)),
-        );
+        let p = partition_tensor(&b, 0, universe_partition(&b, 0, &equal_coord_bounds(12, 3)));
         let mut out = vec![0.0; 12 * ldim];
         for col in 0..3 {
             spmttkrp_color(&b, &p, col, &c, &d, ldim, &mut out);

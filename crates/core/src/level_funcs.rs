@@ -41,10 +41,7 @@ impl TensorPartition {
     pub fn pos_partition(&self, k: usize) -> Partition {
         if k == 0 {
             let colors = self.num_colors();
-            Partition::new(
-                1,
-                vec![IntervalSet::from_rect(Rect1::new(0, 0)); colors],
-            )
+            Partition::new(1, vec![IntervalSet::from_rect(Rect1::new(0, 0)); colors])
         } else {
             self.entries[k - 1].clone()
         }
@@ -88,9 +85,7 @@ pub fn universe_partition(t: &SpTensor, k: usize, coord_bounds: &[Rect1]) -> Par
                 .iter()
                 .map(|r| {
                     let rects: Vec<Rect1> = (0..parent_entries as i64)
-                        .map(|p| {
-                            Rect1::new(p * *size as i64 + r.lo, p * *size as i64 + r.hi)
-                        })
+                        .map(|p| Rect1::new(p * *size as i64 + r.lo, p * *size as i64 + r.hi))
                         .collect();
                     IntervalSet::from_rects(rects)
                 })
@@ -108,9 +103,7 @@ pub fn universe_partition(t: &SpTensor, k: usize, coord_bounds: &[Rect1]) -> Par
 /// Equal coordinate ranges for a universe partition of dimension `k`.
 pub fn equal_coord_bounds(extent: usize, colors: usize) -> Vec<Rect1> {
     let p = Partition::equal(extent as u64, colors);
-    (0..colors)
-        .map(|c| p.subset(c).bounding_rect())
-        .collect()
+    (0..colors).map(|c| p.subset(c).bounding_rect()).collect()
 }
 
 /// `initNonZeroPartition` / `createNonZeroPartitionEntry` /
@@ -227,10 +220,7 @@ pub fn replicated_partition(t: &SpTensor, colors: usize) -> TensorPartition {
         .collect::<Vec<_>>();
     let vals = Partition::new(
         t.num_stored() as u64,
-        vec![
-            IntervalSet::from_rect(Rect1::new(0, t.num_stored() as i64 - 1));
-            colors
-        ],
+        vec![IntervalSet::from_rect(Rect1::new(0, t.num_stored() as i64 - 1)); colors],
     );
     TensorPartition { entries, vals }
 }
@@ -315,8 +305,16 @@ mod tests {
         );
         // Non-zero partition: perfectly balanced values.
         let z = partition_tensor(&t, 1, nonzero_partition(&t, 1, colors));
-        assert!(u.vals.imbalance() > 4.0, "u imbalance {}", u.vals.imbalance());
-        assert!(z.vals.imbalance() < 1.05, "z imbalance {}", z.vals.imbalance());
+        assert!(
+            u.vals.imbalance() > 4.0,
+            "u imbalance {}",
+            u.vals.imbalance()
+        );
+        assert!(
+            z.vals.imbalance() < 1.05,
+            "z imbalance {}",
+            z.vals.imbalance()
+        );
     }
 
     #[test]

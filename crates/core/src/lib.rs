@@ -54,5 +54,5 @@ pub mod prelude {
     pub use crate::dist_tensor::{Context, Error};
     pub use crate::plan::{ExecResult, OutputValue};
     pub use spdistal_ir::{Format, ParallelUnit, Schedule};
-    pub use spdistal_runtime::{Machine, MachineProfile};
+    pub use spdistal_runtime::{ExecMode, Machine, MachineProfile};
 }

@@ -6,10 +6,35 @@
 //! point task's region requirements name exactly the `pos`/`crd`/`vals`
 //! sub-regions its color owns under the plan's partitions, so the runtime
 //! infers the same communication Legion would.
+//!
+//! ## Real parallel execution
+//!
+//! The compute phase runs the leaf kernels through the runtime's task
+//! scheduler ([`spdistal_runtime::sched`]): the same region requirements
+//! that drive the communication model are analyzed into a dependence DAG,
+//! and [`ExecMode`](spdistal_runtime::sched::ExecMode) selects serial
+//! (reference) or work-stealing parallel execution. Output handling keeps
+//! the two modes bit-identical:
+//!
+//! * disjoint output partitions (`reduce == false`) write the shared
+//!   buffer in place — each element has exactly one writer, and any
+//!   conflicting pair the graph finds is serialized in color order;
+//! * aliased output partitions (`reduce == true`) give every color a
+//!   private partial, combined single-threaded in color order afterwards —
+//!   a deterministic floating-point sum regardless of scheduling;
+//! * assembled sparse outputs are built from per-color private rows,
+//!   concatenated in color order.
+//!
+//! The simulator remains the cost model: [`ExecResult::time`] is simulated,
+//! [`ExecResult::wall_time`] is the measured compute-phase wall-clock.
+
+use std::cell::UnsafeCell;
+use std::sync::Mutex;
 
 use spdistal_ir::{interp, Bindings};
+use spdistal_runtime::sched::{ExecReport, Executor, TaskGraph};
 use spdistal_runtime::{
-    IntervalSet, LaunchRecord, Privilege, Rect1, RegionReq, TaskSpec,
+    IntervalSet, LaunchRecord, Privilege, Rect1, RegionId, RegionReq, TaskSpec,
 };
 use spdistal_sparse::{dense_vector, CooTensor, Level, SpTensor};
 
@@ -48,6 +73,10 @@ impl OutputValue {
 pub struct ExecResult {
     /// Simulated wall time of this execution (seconds).
     pub time: f64,
+    /// Real wall-clock seconds the compute phase took under the selected
+    /// [`ExecMode`](spdistal_runtime::sched::ExecMode) (reported
+    /// alongside, never folded into, `time`).
+    pub wall_time: f64,
     /// Bytes moved between memories during this execution.
     pub comm_bytes: u64,
     /// Messages sent during this execution.
@@ -56,6 +85,8 @@ pub struct ExecResult {
     pub ops: f64,
     /// Per-launch records.
     pub records: Vec<LaunchRecord>,
+    /// Compute-phase scheduler report (threads, steals, DAG shape).
+    pub sched: ExecReport,
     pub output: OutputValue,
 }
 
@@ -71,7 +102,10 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
     );
 
     // --- compute phase (real kernels on shared-memory data) -------------
-    let (computed, ops) = compute(ctx, plan)?;
+    // Dependence DAG over the same region requirements the model phase
+    // will name; the executor honors it in both serial and parallel mode.
+    let graph = TaskGraph::from_reqs(&dag_reqs(ctx, plan)?);
+    let (computed, ops, sched) = compute(ctx, plan, &graph)?;
 
     // --- model phase (region requirements + index launch) ---------------
     let out_len = match &computed {
@@ -79,11 +113,9 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
         Computed::PatternVals(v) => v.len() as u64,
         Computed::Assembled { total_nnz, .. } => *total_nnz as u64,
     };
-    let out_region = ctx.runtime_mut().create_region(
-        &format!("{}.out", plan.output.tensor),
-        out_len,
-        VAL_BYTES,
-    );
+    let out_region =
+        ctx.runtime_mut()
+            .create_region(&format!("{}.out", plan.output.tensor), out_len, VAL_BYTES);
 
     let out_priv = if plan.output.reduce {
         Privilege::Reduce
@@ -121,31 +153,29 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
         (OutKind::SparseAssembled, _) => unreachable!("assembled output shape"),
     };
 
-    let mk_tasks = |ctx: &Context,
-                    ops: &[f64],
-                    include_out: bool|
-     -> Result<Vec<TaskSpec>, Error> {
-        let mut tasks = Vec::with_capacity(plan.colors);
-        for c in 0..plan.colors {
-            let proc = procs_for_color(ctx.machine(), Some(plan.machine_dim), c)
-                .into_iter()
-                .next()
-                .ok_or_else(|| Error::Unsupported("empty machine dimension".into()))?;
-            let mut task = TaskSpec::new(proc, ops[c]);
-            for input in &plan.inputs {
-                add_input_reqs(ctx, input, c, &mut task)?;
+    let mk_tasks =
+        |ctx: &Context, ops: &[f64], include_out: bool| -> Result<Vec<TaskSpec>, Error> {
+            let mut tasks = Vec::with_capacity(plan.colors);
+            for c in 0..plan.colors {
+                let proc = procs_for_color(ctx.machine(), Some(plan.machine_dim), c)
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| Error::Unsupported("empty machine dimension".into()))?;
+                let mut task = TaskSpec::new(proc, ops[c]);
+                for input in &plan.inputs {
+                    push_input_reqs(ctx, input, c, &mut task.reqs)?;
+                }
+                if include_out && !out_subsets[c].is_empty() {
+                    task.reqs.push(RegionReq {
+                        region: out_region,
+                        subset: out_subsets[c].clone(),
+                        privilege: out_priv,
+                    });
+                }
+                tasks.push(task);
             }
-            if include_out && !out_subsets[c].is_empty() {
-                task.reqs.push(RegionReq {
-                    region: out_region,
-                    subset: out_subsets[c].clone(),
-                    privilege: out_priv,
-                });
-            }
-            tasks.push(task);
-        }
-        Ok(tasks)
-    };
+            Ok(tasks)
+        };
 
     match &computed {
         Computed::Assembled {
@@ -184,20 +214,64 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
     let stats = ctx.runtime().stats();
     Ok(ExecResult {
         time: ctx.runtime().now() - time0,
+        wall_time: sched.wall_seconds,
         comm_bytes: stats.comm_bytes - stats0.0,
         messages: stats.messages - stats0.1,
         ops: stats.total_ops - stats0.2,
         records: stats.records[stats0.3..].to_vec(),
+        sched,
         output,
     })
 }
 
+/// Synthetic region id standing in for the output region (created only
+/// after the compute phase sizes it) when deriving the compute DAG.
+const DAG_OUT_REGION: RegionId = RegionId(u32::MAX);
+
+/// The per-color region requirement sets of the launch, as seen by the
+/// compute-phase dependence analysis: every input the color reads, plus its
+/// output subset under the plan's output partition. Inputs are `Read`
+/// (commuting); outputs carry the launch's write-or-reduce privilege, so
+/// aliased writers serialize in color order and reductions commute.
+fn dag_reqs(ctx: &Context, plan: &Plan) -> Result<Vec<Vec<RegionReq>>, Error> {
+    let out_priv = if plan.output.reduce {
+        Privilege::Reduce
+    } else {
+        Privilege::ReadWrite
+    };
+    let mut all = Vec::with_capacity(plan.colors);
+    for color in 0..plan.colors {
+        let mut reqs = Vec::new();
+        for input in &plan.inputs {
+            push_input_reqs(ctx, input, color, &mut reqs)?;
+        }
+        let out_subset = match &plan.output.kind {
+            OutKind::DenseVec | OutKind::PatternVals { .. } => {
+                plan.output.part.subset(color).clone()
+            }
+            OutKind::DenseMat { width } => scale_set(plan.output.part.subset(color), *width),
+            // Assembled outputs are built from task-private rows; there is
+            // no shared output buffer during the compute phase.
+            OutKind::SparseAssembled => IntervalSet::new(),
+        };
+        if !out_subset.is_empty() {
+            reqs.push(RegionReq {
+                region: DAG_OUT_REGION,
+                subset: out_subset,
+                privilege: out_priv,
+            });
+        }
+        all.push(reqs);
+    }
+    Ok(all)
+}
+
 /// Region requirements for one input tensor under its planned partition.
-fn add_input_reqs(
+fn push_input_reqs(
     ctx: &Context,
     input: &PlannedInput,
     color: usize,
-    task: &mut TaskSpec,
+    reqs: &mut Vec<RegionReq>,
 ) -> Result<(), Error> {
     let t = ctx.tensor(&input.tensor)?;
     for (k, lr) in t.regions.levels.iter().enumerate() {
@@ -205,17 +279,17 @@ fn add_input_reqs(
             LevelRegions::Compressed { pos, crd } => {
                 let pos_sub = input.part.pos_partition(k).subset(color).clone();
                 if !pos_sub.is_empty() {
-                    task.reqs.push(RegionReq::read(*pos, pos_sub));
+                    reqs.push(RegionReq::read(*pos, pos_sub));
                 }
                 let crd_sub = input.part.entries[k].subset(color).clone();
                 if !crd_sub.is_empty() {
-                    task.reqs.push(RegionReq::read(*crd, crd_sub));
+                    reqs.push(RegionReq::read(*crd, crd_sub));
                 }
             }
             LevelRegions::Singleton { crd } => {
                 let crd_sub = input.part.entries[k].subset(color).clone();
                 if !crd_sub.is_empty() {
-                    task.reqs.push(RegionReq::read(*crd, crd_sub));
+                    reqs.push(RegionReq::read(*crd, crd_sub));
                 }
             }
             LevelRegions::Dense => {}
@@ -223,7 +297,7 @@ fn add_input_reqs(
     }
     let vals_sub = input.part.vals.subset(color).clone();
     if !vals_sub.is_empty() {
-        task.reqs.push(RegionReq::read(t.regions.vals, vals_sub));
+        reqs.push(RegionReq::read(t.regions.vals, vals_sub));
     }
     Ok(())
 }
@@ -251,9 +325,108 @@ enum Computed {
     },
 }
 
-/// Run the leaf kernels for every color, returning the computed output and
-/// per-color operation counts.
-fn compute(ctx: &Context, plan: &Plan) -> Result<(Computed, Vec<f64>), Error> {
+/// A shared output buffer that concurrently executing colors write in
+/// place. Soundness is delegated to the dependence graph: colors whose
+/// output requirements overlap with a non-commuting privilege are
+/// serialized by the executor, and the remaining writers touch disjoint
+/// elements by construction of a non-reducing output partition.
+struct SharedVals(UnsafeCell<Vec<f64>>);
+
+// SAFETY: access discipline enforced by the task graph (see above).
+unsafe impl Sync for SharedVals {}
+
+impl SharedVals {
+    fn new(v: Vec<f64>) -> Self {
+        SharedVals(UnsafeCell::new(v))
+    }
+
+    /// # Safety
+    /// Concurrent holders must never touch the same element; plan
+    /// execution guarantees this via the launch's dependence graph, so no
+    /// byte is ever accessed by two tasks at once (no data race exists at
+    /// the machine level, and the LLVM `noalias` contract is only
+    /// observable through conflicting accesses, which the graph excludes).
+    ///
+    /// Known caveat: concurrently live `&mut [f64]` views over the same
+    /// allocation are still aliasing-model UB (Miri flags this) even with
+    /// element-disjoint access. Full soundness needs the leaf kernels to
+    /// write through a cell/raw-pointer output view instead of `&mut
+    /// [f64]` — tracked as a ROADMAP open item; the exposure is confined
+    /// to this adapter.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self) -> &mut [f64] {
+        &mut *self.0.get()
+    }
+
+    fn into_inner(self) -> Vec<f64> {
+        self.0.into_inner()
+    }
+}
+
+/// Run `body` once per color through the dependence-driven executor and
+/// collect each color's private result in color order.
+fn run_colors<R: Send>(
+    ctx: &Context,
+    colors: usize,
+    graph: &TaskGraph,
+    body: impl Fn(usize) -> R + Sync,
+) -> (Vec<R>, ExecReport) {
+    let slots: Vec<Mutex<Option<R>>> = (0..colors).map(|_| Mutex::new(None)).collect();
+    let report = Executor::new(ctx.exec_mode()).run(graph, |col| {
+        *slots[col].lock().unwrap() = Some(body(col));
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("color task did not run"))
+        .collect();
+    (results, report)
+}
+
+/// Execute a dense-buffer kernel (`kernel(color, out) -> ops`) over all
+/// colors. Disjoint output partitions write the shared buffer in place;
+/// aliased ones (`reduce`) accumulate private partials combined in color
+/// order — both deterministic, so serial and parallel modes agree bitwise.
+fn dense_out(
+    ctx: &Context,
+    plan: &Plan,
+    graph: &TaskGraph,
+    len: usize,
+    kernel: impl Fn(usize, &mut [f64]) -> f64 + Sync,
+) -> (Vec<f64>, Vec<f64>, ExecReport) {
+    if plan.output.reduce {
+        let (partials, report) = run_colors(ctx, plan.colors, graph, |col| {
+            let mut partial = vec![0.0; len];
+            let ops = kernel(col, &mut partial);
+            (ops, partial)
+        });
+        let mut out = vec![0.0; len];
+        let mut ops = vec![0.0; plan.colors];
+        for (col, (col_ops, partial)) in partials.into_iter().enumerate() {
+            ops[col] = col_ops;
+            for (dst, src) in out.iter_mut().zip(&partial) {
+                *dst += src;
+            }
+        }
+        (out, ops, report)
+    } else {
+        let shared = SharedVals::new(vec![0.0; len]);
+        let (ops, report) = run_colors(ctx, plan.colors, graph, |col| {
+            // SAFETY: see `SharedVals` — disjoint writes, or serialized by
+            // the dependence graph when they are not.
+            kernel(col, unsafe { shared.slice_mut() })
+        });
+        (shared.into_inner(), ops, report)
+    }
+}
+
+/// Run the leaf kernels for every color through the task scheduler,
+/// returning the computed output, per-color operation counts, and the
+/// executor's report.
+fn compute(
+    ctx: &Context,
+    plan: &Plan,
+    graph: &TaskGraph,
+) -> Result<(Computed, Vec<f64>, ExecReport), Error> {
     let accesses = plan.stmt.rhs.accesses();
     let data = |name: &str| ctx.tensor(name).map(|t| &t.data);
     let driver = data(&plan.driver)?;
@@ -263,52 +436,47 @@ fn compute(ctx: &Context, plan: &Plan) -> Result<(Computed, Vec<f64>), Error> {
         .find(|i| i.tensor == plan.driver)
         .unwrap()
         .part;
-    let mut ops = vec![0.0; plan.colors];
 
-    let computed = match &plan.kernel {
+    let (computed, ops, report) = match &plan.kernel {
         LeafKernel::SpMv => {
             let c = data(&accesses[1].tensor)?.vals();
-            let mut out = vec![0.0; driver.dims()[0]];
-            for col in 0..plan.colors {
-                ops[col] = matrix::spmv_color(driver, part, col, c, &mut out);
-            }
-            Computed::Dense(out)
+            let (out, ops, report) = dense_out(ctx, plan, graph, driver.dims()[0], |col, out| {
+                matrix::spmv_color(driver, part, col, c, out)
+            });
+            (Computed::Dense(out), ops, report)
         }
         LeafKernel::SpMm { jdim } => {
             let c = data(&accesses[1].tensor)?.vals();
-            let mut out = vec![0.0; driver.dims()[0] * jdim];
-            for col in 0..plan.colors {
-                ops[col] = matrix::spmm_color(driver, part, col, c, *jdim, &mut out);
-            }
-            Computed::Dense(out)
+            let (out, ops, report) =
+                dense_out(ctx, plan, graph, driver.dims()[0] * jdim, |col, out| {
+                    matrix::spmm_color(driver, part, col, c, *jdim, out)
+                });
+            (Computed::Dense(out), ops, report)
         }
         LeafKernel::Sddmm { kdim } => {
             let c = data(&accesses[1].tensor)?.vals();
             let d = data(&accesses[2].tensor)?.vals();
-            let mut vals = vec![0.0; driver.num_stored()];
-            for col in 0..plan.colors {
-                ops[col] = matrix::sddmm_color(
-                    driver,
-                    part,
-                    col,
-                    c,
-                    d,
-                    *kdim,
-                    driver.dims()[1],
-                    &mut vals,
-                );
-            }
-            Computed::PatternVals(vals)
+            let jdim = driver.dims()[1];
+            let (vals, ops, report) =
+                dense_out(ctx, plan, graph, driver.num_stored(), |col, out| {
+                    matrix::sddmm_color(driver, part, col, c, d, *kdim, jdim, out)
+                });
+            (Computed::PatternVals(vals), ops, report)
         }
         LeafKernel::SpAdd3 => {
             let c = data(&accesses[1].tensor)?;
             let d = data(&accesses[2].tensor)?;
+            // Every color assembles private rows; concatenation in color
+            // order reproduces the serial assembly exactly.
+            let (per_color, report) = run_colors(ctx, plan.colors, graph, |col| {
+                matrix::spadd3_color(driver, c, d, part, col)
+            });
+            let mut ops = vec![0.0; plan.colors];
             let mut all_rows = Vec::new();
             let mut per_color_nnz = Vec::with_capacity(plan.colors);
             let mut symbolic_ops = Vec::with_capacity(plan.colors);
             let mut numeric_ops = Vec::with_capacity(plan.colors);
-            for col in 0..plan.colors {
-                let (rows, sym, num) = matrix::spadd3_color(driver, c, d, part, col);
+            for (col, (rows, sym, num)) in per_color.into_iter().enumerate() {
                 per_color_nnz.push(rows.iter().map(|r| r.cols.len()).sum());
                 symbolic_ops.push(sym);
                 numeric_ops.push(num);
@@ -316,52 +484,65 @@ fn compute(ctx: &Context, plan: &Plan) -> Result<(Computed, Vec<f64>), Error> {
                 all_rows.extend(rows);
             }
             let total_nnz = per_color_nnz.iter().sum();
-            Computed::Assembled {
-                rows: all_rows,
-                per_color_nnz,
-                total_nnz,
-                symbolic_ops,
-                numeric_ops,
-            }
+            (
+                Computed::Assembled {
+                    rows: all_rows,
+                    per_color_nnz,
+                    total_nnz,
+                    symbolic_ops,
+                    numeric_ops,
+                },
+                ops,
+                report,
+            )
         }
         LeafKernel::SpTtv => {
             let c = data(&accesses[1].tensor)?.vals();
-            let mut fibers = vec![0.0; entry_counts(driver)[1] as usize];
-            for col in 0..plan.colors {
-                ops[col] = tensor3::spttv_color(driver, part, col, c, &mut fibers);
-            }
-            Computed::PatternVals(fibers)
+            let len = entry_counts(driver)[1] as usize;
+            let (fibers, ops, report) = dense_out(ctx, plan, graph, len, |col, out| {
+                tensor3::spttv_color(driver, part, col, c, out)
+            });
+            (Computed::PatternVals(fibers), ops, report)
         }
         LeafKernel::SpMttkrp { ldim } => {
             let c = data(&accesses[1].tensor)?.vals();
             let d = data(&accesses[2].tensor)?.vals();
-            let mut out = vec![0.0; driver.dims()[0] * ldim];
-            for col in 0..plan.colors {
-                ops[col] =
-                    tensor3::spmttkrp_color(driver, part, col, c, d, *ldim, &mut out);
-            }
-            Computed::Dense(out)
+            let (out, ops, report) =
+                dense_out(ctx, plan, graph, driver.dims()[0] * ldim, |col, out| {
+                    tensor3::spmttkrp_color(driver, part, col, c, d, *ldim, out)
+                });
+            (Computed::Dense(out), ops, report)
         }
         LeafKernel::Generic => {
-            // Interpreted fallback: evaluate once, split modeled work by the
-            // driver's values partition.
+            // Interpreted fallback: one global evaluation (a single task),
+            // with modeled work split by the driver's values partition.
             let mut bindings = Bindings::new();
             for name in plan.stmt.tensor_names() {
                 if name != plan.output.tensor {
                     bindings = bindings.bind(&name.clone(), &ctx.tensor(&name)?.data);
                 }
             }
+            let t0 = std::time::Instant::now();
             let result = interp::evaluate(&plan.stmt, &bindings)
                 .map_err(|e| Error::Unsupported(format!("interp: {e}")))?;
+            let report = ExecReport {
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                tasks: 1,
+                edges: 0,
+                critical_path: 1,
+                threads: 1,
+                steals: 0,
+            };
             let out_t = data(&plan.output.tensor)?;
             let dense = interp::result_to_dense(&result, out_t.dims());
-            for col in 0..plan.colors {
-                ops[col] = part.vals.subset(col).total_len() as f64;
+            let mut ops = vec![0.0; plan.colors];
+            for (col, op) in ops.iter_mut().enumerate() {
+                *op = part.vals.subset(col).total_len() as f64;
             }
-            Computed::Dense(dense)
+            (Computed::Dense(dense), ops, report)
         }
     };
-    Ok((computed, ops))
+    Ok((computed, ops, report))
 }
 
 /// Turn the computed buffers into the plan's output value.
@@ -371,9 +552,7 @@ fn materialize_output(
     computed: Computed,
 ) -> Result<OutputValue, Error> {
     match (computed, &plan.output.kind) {
-        (Computed::Dense(v), OutKind::DenseVec) => {
-            Ok(OutputValue::Tensor(dense_vector(v)))
-        }
+        (Computed::Dense(v), OutKind::DenseVec) => Ok(OutputValue::Tensor(dense_vector(v))),
         (Computed::Dense(v), OutKind::DenseMat { width }) => {
             let rows = v.len() / width;
             Ok(OutputValue::Tensor(spdistal_sparse::dense_matrix(
@@ -410,10 +589,7 @@ fn materialize_output(
 /// callers assembling custom outputs).
 pub fn dense_tensor(dims: &[usize], vals: Vec<f64>) -> SpTensor {
     assert_eq!(dims.iter().product::<usize>(), vals.len());
-    let levels = dims
-        .iter()
-        .map(|&d| Level::Dense { size: d })
-        .collect();
+    let levels = dims.iter().map(|&d| Level::Dense { size: d }).collect();
     SpTensor::from_parts(dims.to_vec(), levels, vals)
 }
 

@@ -193,9 +193,8 @@ mod tests {
     fn spadd3_sum_of_products() {
         let mut ctx = VarCtx::new();
         let [i, j] = ctx.fresh_n(["i", "j"]);
-        let rhs = Expr::access("B", &[i, j])
-            + Expr::access("C", &[i, j])
-            + Expr::access("D", &[i, j]);
+        let rhs =
+            Expr::access("B", &[i, j]) + Expr::access("C", &[i, j]) + Expr::access("D", &[i, j]);
         let sop = rhs.sum_of_products();
         assert_eq!(sop.len(), 3);
         assert!(sop.iter().all(|t| t.len() == 1));
@@ -205,9 +204,8 @@ mod tests {
     fn sddmm_factors() {
         let mut ctx = VarCtx::new();
         let [i, j, k] = ctx.fresh_n(["i", "j", "k"]);
-        let rhs = Expr::access("B", &[i, j])
-            * Expr::access("C", &[i, k])
-            * Expr::access("D", &[k, j]);
+        let rhs =
+            Expr::access("B", &[i, j]) * Expr::access("C", &[i, k]) * Expr::access("D", &[k, j]);
         let sop = rhs.sum_of_products();
         assert_eq!(sop.len(), 1);
         assert_eq!(sop[0].len(), 3);

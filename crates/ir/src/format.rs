@@ -48,7 +48,9 @@ impl Format {
     pub fn nonzero_csr() -> Self {
         Format::new(
             vec![LevelFormat::Dense, LevelFormat::Compressed],
-            Distribution::new("xy", "~f").unwrap().with_fusion("xy", 'f'),
+            Distribution::new("xy", "~f")
+                .unwrap()
+                .with_fusion("xy", 'f'),
         )
     }
 

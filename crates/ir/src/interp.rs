@@ -106,7 +106,15 @@ pub fn evaluate(stmt: &Assignment, bindings: &Bindings) -> Result<SparseResult, 
 
     let mut out: SparseResult = BTreeMap::new();
     for term in stmt.rhs.sum_of_products() {
-        eval_term(stmt, &term, bindings, &extents, &mut probes, is_sparse, &mut out)?;
+        eval_term(
+            stmt,
+            &term,
+            bindings,
+            &extents,
+            &mut probes,
+            is_sparse,
+            &mut out,
+        )?;
     }
     out.retain(|_, v| *v != 0.0);
     Ok(out)
@@ -190,8 +198,17 @@ fn eval_term(
                     .filter(|x| !binding.contains_key(x))
                     .collect();
                 enumerate_unbound(
-                    stmt, &accesses, d, v * constant, &unbound, 0, &mut binding, bindings,
-                    extents, probes, out,
+                    stmt,
+                    &accesses,
+                    d,
+                    v * constant,
+                    &unbound,
+                    0,
+                    &mut binding,
+                    bindings,
+                    extents,
+                    probes,
+                    out,
                 )?;
             }
         }
@@ -199,8 +216,17 @@ fn eval_term(
             // All-dense term: enumerate the full space.
             let unbound = term_vars.clone();
             enumerate_unbound(
-                stmt, &accesses, usize::MAX, constant, &unbound, 0, &mut binding, bindings,
-                extents, probes, out,
+                stmt,
+                &accesses,
+                usize::MAX,
+                constant,
+                &unbound,
+                0,
+                &mut binding,
+                bindings,
+                extents,
+                probes,
+                out,
             )?;
         }
     }
@@ -250,8 +276,17 @@ fn enumerate_unbound(
     for c in 0..extent as i64 {
         binding.insert(var, c);
         enumerate_unbound(
-            stmt, accesses, driver, partial, unbound, k + 1, binding, bindings, extents,
-            probes, out,
+            stmt,
+            accesses,
+            driver,
+            partial,
+            unbound,
+            k + 1,
+            binding,
+            bindings,
+            extents,
+            probes,
+            out,
         )?;
     }
     binding.remove(&var);
@@ -315,7 +350,11 @@ mod tests {
         );
         let out = evaluate(&stmt, &Bindings::new().bind("B", &b).bind("c", &c)).unwrap();
         let dense = result_to_dense(&out, &[30]);
-        assert!(reference::approx_eq(&dense, &reference::spmv(&b, &cv), 1e-12));
+        assert!(reference::approx_eq(
+            &dense,
+            &reference::spmv(&b, &cv),
+            1e-12
+        ));
     }
 
     #[test]
@@ -420,9 +459,7 @@ mod tests {
         let d = dense_matrix(8, 3, dbuf.clone());
         let stmt = Assignment::new(
             Access::new("A", &[i, l]),
-            Expr::access("B", &[i, j, k])
-                * Expr::access("C", &[j, l])
-                * Expr::access("D", &[k, l]),
+            Expr::access("B", &[i, j, k]) * Expr::access("C", &[j, l]) * Expr::access("D", &[k, l]),
         );
         let out = evaluate(
             &stmt,

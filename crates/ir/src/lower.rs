@@ -12,11 +12,7 @@ use crate::schedule::{ParallelUnit, SchedCmd, SchedError, Schedule};
 use crate::vars::{Derivation, IndexVar, VarCtx};
 
 /// Lower `stmt` under `schedule`, consulting `ctx` for variable provenance.
-pub fn lower(
-    stmt: &Assignment,
-    schedule: &Schedule,
-    ctx: &VarCtx,
-) -> Result<LoopNest, SchedError> {
+pub fn lower(stmt: &Assignment, schedule: &Schedule, ctx: &VarCtx) -> Result<LoopNest, SchedError> {
     let mut order: Vec<IndexVar> = stmt.default_loop_order();
     let mut distributed: Vec<(IndexVar, usize)> = Vec::new();
     let mut parallel: Vec<(IndexVar, ParallelUnit)> = Vec::new();
@@ -118,10 +114,7 @@ pub fn lower(
                 var: v,
                 kind,
                 pieces,
-                distributed: distributed
-                    .iter()
-                    .find(|(x, _)| *x == v)
-                    .map(|(_, d)| *d),
+                distributed: distributed.iter().find(|(x, _)| *x == v).map(|(_, d)| *d),
                 parallel: parallel.iter().find(|(x, _)| *x == v).map(|(_, u)| *u),
             }
         })

@@ -147,9 +147,7 @@ impl<'a> Parser<'a> {
                 Ok(e)
             }
             Some(c) if c.is_ascii_digit() => Ok(Expr::Const(self.number()?)),
-            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
-                Ok(Expr::Access(self.access()?))
-            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => Ok(Expr::Access(self.access()?)),
             _ => self.err("expected access, number or '('"),
         }
     }

@@ -220,7 +220,11 @@ mod tests {
         assert_eq!(ctx.name(io), "io");
         assert_eq!(ctx.name(ii), "ii");
         match ctx.derivation(io) {
-            Derivation::DivideOuter { parent, inner, pieces } => {
+            Derivation::DivideOuter {
+                parent,
+                inner,
+                pieces,
+            } => {
                 assert_eq!(*parent, i);
                 assert_eq!(*inner, ii);
                 assert_eq!(*pieces, 4);

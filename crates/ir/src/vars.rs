@@ -121,11 +121,10 @@ impl VarCtx {
         match self.derivation(v) {
             Derivation::Free => false,
             Derivation::Pos { .. } => true,
-            Derivation::DivideOuter { parent, .. }
-            | Derivation::DivideInner { parent, .. } => self.is_position_space(*parent),
-            Derivation::Fused { a, b } => {
-                self.is_position_space(*a) || self.is_position_space(*b)
+            Derivation::DivideOuter { parent, .. } | Derivation::DivideInner { parent, .. } => {
+                self.is_position_space(*parent)
             }
+            Derivation::Fused { a, b } => self.is_position_space(*a) || self.is_position_space(*b),
         }
     }
 
@@ -134,11 +133,12 @@ impl VarCtx {
         match self.derivation(v) {
             Derivation::Free => None,
             Derivation::Pos { tensor, .. } => Some(tensor),
-            Derivation::DivideOuter { parent, .. }
-            | Derivation::DivideInner { parent, .. } => self.position_tensor(*parent),
-            Derivation::Fused { a, b } => {
-                self.position_tensor(*a).or_else(|| self.position_tensor(*b))
+            Derivation::DivideOuter { parent, .. } | Derivation::DivideInner { parent, .. } => {
+                self.position_tensor(*parent)
             }
+            Derivation::Fused { a, b } => self
+                .position_tensor(*a)
+                .or_else(|| self.position_tensor(*b)),
         }
     }
 }

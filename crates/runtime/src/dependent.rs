@@ -110,11 +110,7 @@ fn overlaps_set(r: &Rect1, s: &IntervalSet) -> bool {
 fn clamp(p: Partition) -> Partition {
     let bound = IntervalSet::from_rect(Rect1::new(0, p.parent_len() as i64 - 1));
     let n = p.parent_len();
-    let subsets = p
-        .subsets()
-        .iter()
-        .map(|s| s.intersect(&bound))
-        .collect();
+    let subsets = p.subsets().iter().map(|s| s.intersect(&bound)).collect();
     Partition::new(n, subsets)
 }
 
@@ -143,14 +139,8 @@ mod tests {
         let row_part = Partition::equal(4, 2);
         let crd_part = image_rects(&fig7_pos(), &row_part, 8);
         // Rows 0-1 own crd positions 0..=4; rows 2-3 own 5..=7.
-        assert_eq!(
-            crd_part.subset(0).rects(),
-            &[Rect1::new(0, 4)]
-        );
-        assert_eq!(
-            crd_part.subset(1).rects(),
-            &[Rect1::new(5, 7)]
-        );
+        assert_eq!(crd_part.subset(0).rects(), &[Rect1::new(0, 4)]);
+        assert_eq!(crd_part.subset(1).rects(), &[Rect1::new(5, 7)]);
         assert!(crd_part.is_disjoint() && crd_part.is_complete());
     }
 

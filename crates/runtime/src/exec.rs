@@ -267,8 +267,8 @@ impl Runtime {
                     }
                     Privilege::Reduce => {
                         // Local partial buffer; no inbound copy.
-                        let bytes = req.subset.total_len()
-                            * self.regions[req.region.0 as usize].elem_bytes;
+                        let bytes =
+                            req.subset.total_len() * self.regions[req.region.0 as usize].elem_bytes;
                         self.charge_memory(p, req.region, bytes)?;
                         reduces
                             .entry(req.region)
@@ -414,8 +414,7 @@ impl Runtime {
             let link = self.machine.profile().inter_link;
             let k = contribs.len() as f64;
             let bytes = excess * elem_bytes;
-            let t_comm =
-                link.latency * k.log2().ceil() + bytes as f64 / link.bandwidth;
+            let t_comm = link.latency * k.log2().ceil() + bytes as f64 / link.bandwidth;
             let t_compute = excess as f64 / self.machine.profile().proc.throughput;
             // Contributors rendezvous: reduction completes after the slowest.
             let start = contribs
@@ -460,10 +459,13 @@ mod tests {
     fn read_req_copies_once() {
         let mut r = rt(2);
         let reg = r.create_region("x", 1000, 8);
-        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 999))).unwrap();
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 999)))
+            .unwrap();
         // Task on proc 1 reads the first half: 500 * 8 bytes move.
-        let t = TaskSpec::new(1, 0.0)
-            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 499))));
+        let t = TaskSpec::new(1, 0.0).with_req(RegionReq::read(
+            reg,
+            IntervalSet::from_rect(Rect1::new(0, 499)),
+        ));
         let rec = r.index_launch("l1", vec![t.clone()]).unwrap();
         assert_eq!(rec.comm_bytes, 4000);
         // Second identical launch: data already valid, no traffic.
@@ -475,16 +477,21 @@ mod tests {
     fn write_invalidates_other_copies() {
         let mut r = rt(2);
         let reg = r.create_region("x", 100, 8);
-        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 99))).unwrap();
-        let w = TaskSpec::new(1, 0.0)
-            .with_req(RegionReq::write(reg, IntervalSet::from_rect(Rect1::new(0, 49))));
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 99)))
+            .unwrap();
+        let w = TaskSpec::new(1, 0.0).with_req(RegionReq::write(
+            reg,
+            IntervalSet::from_rect(Rect1::new(0, 49)),
+        ));
         r.index_launch("w", vec![w]).unwrap();
         assert!(r.valid_in(reg, 0).contains(50));
         assert!(!r.valid_in(reg, 0).contains(0));
         assert!(r.valid_in(reg, 1).contains(0));
         // Proc 0 reading back the written half pays communication.
-        let rd = TaskSpec::new(0, 0.0)
-            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 49))));
+        let rd = TaskSpec::new(0, 0.0).with_req(RegionReq::read(
+            reg,
+            IntervalSet::from_rect(Rect1::new(0, 49)),
+        ));
         let rec = r.index_launch("r", vec![rd]).unwrap();
         assert_eq!(rec.comm_bytes, 400);
     }
@@ -500,7 +507,8 @@ mod tests {
         .unwrap();
         assert!(r.proc_clock(0) > r.proc_clock(1));
         // Without a barrier, proc 1 keeps its early clock.
-        r.index_launch("more", vec![TaskSpec::new(1, 1.0e3)]).unwrap();
+        r.index_launch("more", vec![TaskSpec::new(1, 1.0e3)])
+            .unwrap();
         assert!(r.proc_clock(1) < r.proc_clock(0));
         // Barrier synchronizes.
         r.barrier();
@@ -513,8 +521,10 @@ mod tests {
         let mut r = Runtime::new(m);
         let reg = r.create_region("big", 1000, 8);
         r.attach_sys(reg);
-        let t = TaskSpec::new(0, 0.0)
-            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 999))));
+        let t = TaskSpec::new(0, 0.0).with_req(RegionReq::read(
+            reg,
+            IntervalSet::from_rect(Rect1::new(0, 999)),
+        ));
         let err = r.index_launch("oom", vec![t]).unwrap_err();
         assert!(matches!(err, RuntimeError::Oom { .. }));
     }
@@ -538,7 +548,8 @@ mod tests {
         let m = Machine::grid1d(1, MachineProfile::test_profile_with_capacity(800));
         let mut r = Runtime::new(m);
         let reg = r.create_region("x", 100, 8);
-        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 99))).unwrap();
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 99)))
+            .unwrap();
         assert_eq!(r.resident_bytes(0), 800);
         r.evict(reg, 0, &IntervalSet::from_rect(Rect1::new(0, 49)));
         assert_eq!(r.resident_bytes(0), 400);
@@ -552,8 +563,10 @@ mod tests {
         let reg = r.create_region("a", 100, 8);
         // Both procs reduce into overlapping [40,59]: 20 elements excess.
         let mk = |p: usize, lo: i64, hi: i64| {
-            TaskSpec::new(p, 100.0)
-                .with_req(RegionReq::reduce(reg, IntervalSet::from_rect(Rect1::new(lo, hi))))
+            TaskSpec::new(p, 100.0).with_req(RegionReq::reduce(
+                reg,
+                IntervalSet::from_rect(Rect1::new(lo, hi)),
+            ))
         };
         let rec = r
             .index_launch("red", vec![mk(0, 0, 59), mk(1, 40, 99)])
@@ -563,8 +576,10 @@ mod tests {
         let mut r2 = rt(2);
         let reg2 = r2.create_region("a", 100, 8);
         let mk2 = |p: usize, lo: i64, hi: i64| {
-            TaskSpec::new(p, 100.0)
-                .with_req(RegionReq::reduce(reg2, IntervalSet::from_rect(Rect1::new(lo, hi))))
+            TaskSpec::new(p, 100.0).with_req(RegionReq::reduce(
+                reg2,
+                IntervalSet::from_rect(Rect1::new(lo, hi)),
+            ))
         };
         let rec2 = r2
             .index_launch("red", vec![mk2(0, 0, 49), mk2(1, 50, 99)])
@@ -577,23 +592,31 @@ mod tests {
         let m = Machine::grid1d(8, MachineProfile::lassen_gpu(1.0));
         let mut r = Runtime::new(m);
         let reg = r.create_region("x", 1_000_000, 8);
-        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 999_999))).unwrap();
-        r.attach(reg, 4, IntervalSet::from_rect(Rect1::new(0, 999_999))).unwrap();
+        r.attach(reg, 0, IntervalSet::from_rect(Rect1::new(0, 999_999)))
+            .unwrap();
+        r.attach(reg, 4, IntervalSet::from_rect(Rect1::new(0, 999_999)))
+            .unwrap();
         // Proc 5 shares a node with proc 4; copy should use the NVLink.
-        let t = TaskSpec::new(5, 0.0)
-            .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 999_999))));
+        let t = TaskSpec::new(5, 0.0).with_req(RegionReq::read(
+            reg,
+            IntervalSet::from_rect(Rect1::new(0, 999_999)),
+        ));
         r.index_launch("l", vec![t]).unwrap();
         let nvlink_time = 8.0e6 / 7.5e10;
         let ib_time = 8.0e6 / 1.25e10;
         let elapsed = r.proc_clock(5);
-        assert!(elapsed < (nvlink_time + ib_time) / 2.0 + 1e-4,
-            "expected NVLink-speed copy, got {elapsed}");
+        assert!(
+            elapsed < (nvlink_time + ib_time) / 2.0 + 1e-4,
+            "expected NVLink-speed copy, got {elapsed}"
+        );
     }
 
     #[test]
     fn bad_proc_rejected() {
         let mut r = rt(2);
-        let err = r.index_launch("x", vec![TaskSpec::new(5, 0.0)]).unwrap_err();
+        let err = r
+            .index_launch("x", vec![TaskSpec::new(5, 0.0)])
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::BadProc { .. }));
     }
 
@@ -603,8 +626,10 @@ mod tests {
         let reg = r.create_region("x", 100, 8);
         r.attach_sys(reg);
         for i in 0..3 {
-            let t = TaskSpec::new(i % 2, 50.0)
-                .with_req(RegionReq::read(reg, IntervalSet::from_rect(Rect1::new(0, 99))));
+            let t = TaskSpec::new(i % 2, 50.0).with_req(RegionReq::read(
+                reg,
+                IntervalSet::from_rect(Rect1::new(0, 99)),
+            ));
             r.index_launch("l", vec![t]).unwrap();
         }
         assert_eq!(r.stats().launches, 3);

@@ -328,7 +328,8 @@ mod tests {
     #[test]
     fn subtract_multiple_cuts() {
         let a = IntervalSet::from_rect(Rect1::new(0, 20));
-        let b = IntervalSet::from_rects(vec![Rect1::new(2, 3), Rect1::new(8, 9), Rect1::new(18, 25)]);
+        let b =
+            IntervalSet::from_rects(vec![Rect1::new(2, 3), Rect1::new(8, 9), Rect1::new(18, 25)]);
         let d = a.subtract(&b);
         assert_eq!(
             d.rects(),

@@ -20,7 +20,10 @@ pub struct Partition {
 impl Partition {
     /// Build a partition directly from per-color subsets.
     pub fn new(parent_len: u64, subsets: Vec<IntervalSet>) -> Self {
-        Partition { parent_len, subsets }
+        Partition {
+            parent_len,
+            subsets,
+        }
     }
 
     /// An empty partition with `colors` empty subsets.
@@ -58,9 +61,7 @@ impl Partition {
     pub fn by_bounds(parent_len: u64, bounds: Vec<Rect1>) -> Self {
         let subsets = bounds
             .into_iter()
-            .map(|r| {
-                IntervalSet::from_rect(r.intersect(&Rect1::new(0, parent_len as i64 - 1)))
-            })
+            .map(|r| IntervalSet::from_rect(r.intersect(&Rect1::new(0, parent_len as i64 - 1))))
             .collect();
         Partition {
             parent_len,
@@ -152,7 +153,11 @@ impl Partition {
     /// Size of the largest subset; `max / mean` is the load-imbalance factor
     /// that motivates non-zero partitions (Section II-B).
     pub fn max_subset_len(&self) -> u64 {
-        self.subsets.iter().map(IntervalSet::total_len).max().unwrap_or(0)
+        self.subsets
+            .iter()
+            .map(IntervalSet::total_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Load imbalance factor: `max subset size / mean subset size`.

@@ -1,0 +1,227 @@
+//! Dependence graph construction from region requirements.
+//!
+//! Point tasks of an index launch name the logical data they touch through
+//! [`RegionReq`] sets. Two tasks *conflict* when they touch overlapping
+//! subsets of the same region and at least one of them does something a
+//! concurrent observer could notice:
+//!
+//! * `Read` / `Read` commutes — shared data can be read concurrently;
+//! * `Reduce` / `Reduce` commutes — each task produces a private partial
+//!   and the executor's caller combines partials in deterministic task
+//!   order, so concurrent reduction tasks never observe each other;
+//! * every other pairing (RAW, WAR, WAW, and read-or-write against a
+//!   reduction) serializes, in task-index order — the same order the
+//!   serial executor uses, which keeps results bit-identical.
+//!
+//! The graph is a DAG by construction: edges always point from the lower
+//! task index to the higher one, mirroring Legion's program-order
+//! dependence analysis.
+
+use crate::task::{Privilege, RegionReq};
+
+/// An immutable task DAG: edges run from earlier to later task indices.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    /// `succs[i]`: tasks that must wait for `i` to complete.
+    succs: Vec<Vec<usize>>,
+    /// `preds[i]`: number of tasks `i` waits for.
+    preds: Vec<usize>,
+    edges: usize,
+}
+
+/// True iff two privileges may act on overlapping data concurrently.
+pub fn privileges_commute(a: Privilege, b: Privilege) -> bool {
+    matches!(
+        (a, b),
+        (Privilege::Read, Privilege::Read) | (Privilege::Reduce, Privilege::Reduce)
+    )
+}
+
+/// True iff two requirement sets have a pair forcing serialization.
+pub fn reqs_conflict(a: &[RegionReq], b: &[RegionReq]) -> bool {
+    a.iter().any(|ra| {
+        b.iter().any(|rb| {
+            ra.region == rb.region
+                && !privileges_commute(ra.privilege, rb.privilege)
+                && ra.subset.overlaps(&rb.subset)
+        })
+    })
+}
+
+impl TaskGraph {
+    /// Build the dependence DAG for one launch's requirement sets.
+    pub fn from_reqs(reqs: &[Vec<RegionReq>]) -> TaskGraph {
+        let n = reqs.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![0usize; n];
+        let mut edges = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if reqs_conflict(&reqs[i], &reqs[j]) {
+                    succs[i].push(j);
+                    preds[j] += 1;
+                    edges += 1;
+                }
+            }
+        }
+        TaskGraph {
+            succs,
+            preds,
+            edges,
+        }
+    }
+
+    /// A graph of `n` fully independent tasks.
+    pub fn independent(n: usize) -> TaskGraph {
+        TaskGraph {
+            succs: vec![Vec::new(); n],
+            preds: vec![0; n],
+            edges: 0,
+        }
+    }
+
+    pub fn num_tasks(&self) -> usize {
+        self.preds.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    pub fn successors(&self, task: usize) -> &[usize] {
+        &self.succs[task]
+    }
+
+    pub fn pred_count(&self, task: usize) -> usize {
+        self.preds[task]
+    }
+
+    /// Tasks with no predecessors, in task order.
+    pub fn initially_ready(&self) -> Vec<usize> {
+        (0..self.num_tasks())
+            .filter(|&t| self.preds[t] == 0)
+            .collect()
+    }
+
+    /// True iff a dependence path orders `from` before `to`.
+    pub fn path_exists(&self, from: usize, to: usize) -> bool {
+        if from >= to {
+            return from == to;
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.num_tasks()];
+        while let Some(t) = stack.pop() {
+            if t == to {
+                return true;
+            }
+            // Edges only go upward, so anything past `to` is a dead end.
+            for &s in &self.succs[t] {
+                if s <= to && !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Length (in tasks) of the longest dependence chain: the launch's
+    /// critical path, a lower bound on parallel makespan in task units.
+    pub fn critical_path_len(&self) -> usize {
+        let n = self.num_tasks();
+        let mut depth = vec![1usize; n];
+        // Task order is a topological order (edges go low -> high).
+        for i in 0..n {
+            for &s in &self.succs[i] {
+                depth[s] = depth[s].max(depth[i] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{IntervalSet, Rect1};
+    use crate::task::RegionId;
+
+    fn req(region: u32, lo: i64, hi: i64, privilege: Privilege) -> RegionReq {
+        RegionReq {
+            region: RegionId(region),
+            subset: IntervalSet::from_rect(Rect1::new(lo, hi)),
+            privilege,
+        }
+    }
+
+    #[test]
+    fn reads_commute_writes_serialize() {
+        let a = vec![req(0, 0, 9, Privilege::Read)];
+        let b = vec![req(0, 5, 14, Privilege::Read)];
+        assert!(!reqs_conflict(&a, &b));
+        let w = vec![req(0, 5, 14, Privilege::ReadWrite)];
+        assert!(reqs_conflict(&a, &w));
+        assert!(reqs_conflict(&w, &w.clone()));
+    }
+
+    #[test]
+    fn disjoint_subsets_never_conflict() {
+        let a = vec![req(0, 0, 4, Privilege::ReadWrite)];
+        let b = vec![req(0, 5, 9, Privilege::ReadWrite)];
+        assert!(!reqs_conflict(&a, &b));
+        // Different regions, same interval.
+        let c = vec![req(1, 0, 4, Privilege::ReadWrite)];
+        assert!(!reqs_conflict(&a, &c));
+    }
+
+    #[test]
+    fn reductions_commute_with_each_other_only() {
+        let r1 = vec![req(0, 0, 9, Privilege::Reduce)];
+        let r2 = vec![req(0, 0, 9, Privilege::Reduce)];
+        assert!(!reqs_conflict(&r1, &r2));
+        assert!(reqs_conflict(&r1, &[req(0, 0, 9, Privilege::Read)]));
+        assert!(reqs_conflict(&r1, &[req(0, 0, 9, Privilege::ReadWrite)]));
+    }
+
+    #[test]
+    fn graph_edges_follow_task_order() {
+        // Task 0 writes [0,9]; task 1 reads [5,9]; task 2 reads [20,29].
+        let reqs = vec![
+            vec![req(0, 0, 9, Privilege::ReadWrite)],
+            vec![req(0, 5, 9, Privilege::Read)],
+            vec![req(0, 20, 29, Privilege::Read)],
+        ];
+        let g = TaskGraph::from_reqs(&reqs);
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.successors(0), &[1]);
+        assert_eq!(g.pred_count(1), 1);
+        assert_eq!(g.initially_ready(), vec![0, 2]);
+        assert!(g.path_exists(0, 1));
+        assert!(!g.path_exists(0, 2));
+        assert_eq!(g.critical_path_len(), 2);
+    }
+
+    #[test]
+    fn chain_critical_path() {
+        // 0 -> 1 -> 2 -> 3 all writing the same cell.
+        let reqs: Vec<_> = (0..4)
+            .map(|_| vec![req(0, 0, 0, Privilege::ReadWrite)])
+            .collect();
+        let g = TaskGraph::from_reqs(&reqs);
+        assert_eq!(g.critical_path_len(), 4);
+        assert_eq!(g.initially_ready(), vec![0]);
+        assert!(g.path_exists(0, 3));
+        // Transitive edges exist too (0->2 etc.), predecessors reflect them.
+        assert_eq!(g.pred_count(3), 3);
+    }
+
+    #[test]
+    fn independent_graph() {
+        let g = TaskGraph::independent(5);
+        assert_eq!(g.num_tasks(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.critical_path_len(), 1);
+        assert_eq!(g.initially_ready().len(), 5);
+    }
+}

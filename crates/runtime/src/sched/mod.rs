@@ -1,0 +1,29 @@
+//! # Parallel task scheduler: dependence-driven, work-stealing execution
+//!
+//! SpDISTAL inherits its performance from Legion's deferred, asynchronous
+//! execution: the point tasks of an index launch run concurrently, coupled
+//! only by true data movement. The discrete-event simulator in
+//! [`crate::exec`] *models* that concurrency; this module *realizes* it for
+//! the leaf kernels that the compiler runs on shared-memory data for
+//! correctness.
+//!
+//! The pieces mirror the Legion pipeline at miniature scale:
+//!
+//! * [`graph`] — dependence analysis: a [`TaskGraph`] derived from each
+//!   point task's [`crate::task::RegionReq`] set. Read/Read and
+//!   Reduce/Reduce commute; everything else serializes in task order.
+//! * [`pool`] — a `std::thread` work-stealing pool that drains the DAG.
+//! * [`executor`] — the [`ExecMode`] knob ([`ExecMode::Serial`] vs
+//!   [`ExecMode::Parallel`]) and the [`ExecReport`] carrying real
+//!   wall-clock time, so callers report it alongside simulated time.
+//!
+//! The simulator stays untouched as the cost model: the scheduler never
+//! feeds wall-clock back into modeled time.
+
+pub mod executor;
+pub mod graph;
+pub mod pool;
+
+pub use executor::{ExecMode, ExecReport, Executor};
+pub use graph::{privileges_commute, reqs_conflict, TaskGraph};
+pub use pool::PoolStats;

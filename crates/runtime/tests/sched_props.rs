@@ -1,0 +1,197 @@
+//! Property tests for the parallel task scheduler.
+//!
+//! Two invariants carry the whole subsystem:
+//!
+//! 1. **The DAG serializes conflicts.** For any pair of tasks whose region
+//!    requirements overlap with a non-commuting privilege pair (RAW, WAR,
+//!    WAW, or read/write against a reduction), the dependence graph orders
+//!    the earlier task before the later one.
+//! 2. **Parallel equals serial, bitwise.** Executing randomized launches
+//!    whose task bodies perform non-commutative floating-point updates
+//!    (`x -> x * c + t`) must produce bit-identical region contents under
+//!    `ExecMode::Serial` and `ExecMode::Parallel(n)` for every thread
+//!    count — any mis-ordered conflicting pair or lost update flips bits.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use spdistal_runtime::sched::{reqs_conflict, ExecMode, Executor, TaskGraph};
+use spdistal_runtime::{IntervalSet, Privilege, Rect1, RegionId, RegionReq};
+
+const NUM_REGIONS: usize = 3;
+const REGION_LEN: usize = 64;
+
+/// A randomized launch: per task, 1-3 requirements of (region, subset,
+/// privilege).
+fn arb_launch() -> impl Strategy<Value = Vec<Vec<RegionReq>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..NUM_REGIONS, 0i64..56, 0i64..8, 0usize..3), 1..4),
+        1..14,
+    )
+    .prop_map(|tasks| {
+        tasks
+            .into_iter()
+            .map(|reqs| {
+                reqs.into_iter()
+                    .map(|(region, lo, len, privilege)| RegionReq {
+                        region: RegionId(region as u32),
+                        subset: IntervalSet::from_rect(Rect1::new(lo, lo + len)),
+                        privilege: match privilege {
+                            0 => Privilege::Read,
+                            1 => Privilege::ReadWrite,
+                            _ => Privilege::Reduce,
+                        },
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+/// Execute a launch the way plan execution does: `ReadWrite` requirements
+/// mutate the shared region in place (non-commutatively), `Reduce`
+/// requirements accumulate into task-private partials combined in task
+/// order afterwards, `Read` requirements only read. Returns the bit
+/// patterns of every region.
+/// One task's reduction partials: `(region, local buffer)` pairs.
+type TaskPartials = Vec<(usize, Vec<f64>)>;
+
+fn execute(mode: ExecMode, launch: &[Vec<RegionReq>]) -> Vec<Vec<u64>> {
+    let graph = TaskGraph::from_reqs(launch);
+    let regions: Vec<Mutex<Vec<f64>>> = (0..NUM_REGIONS)
+        .map(|r| Mutex::new(vec![1.0 + r as f64; REGION_LEN]))
+        .collect();
+    let partials: Vec<Mutex<Option<TaskPartials>>> =
+        (0..launch.len()).map(|_| Mutex::new(None)).collect();
+
+    Executor::new(mode).run(&graph, |t| {
+        let mut mine = Vec::new();
+        for req in &launch[t] {
+            let region = req.region.0 as usize;
+            match req.privilege {
+                Privilege::Read => {
+                    let buf = regions[region].lock().unwrap();
+                    let sum: f64 = req.subset.iter_points().map(|p| buf[p as usize]).sum();
+                    std::hint::black_box(sum);
+                }
+                Privilege::ReadWrite => {
+                    let mut buf = regions[region].lock().unwrap();
+                    for p in req.subset.iter_points() {
+                        // Non-commutative update: ordering errors flip bits.
+                        buf[p as usize] = buf[p as usize] * 1.0625 + (t + 1) as f64;
+                    }
+                }
+                Privilege::Reduce => {
+                    let mut local = vec![0.0; REGION_LEN];
+                    for p in req.subset.iter_points() {
+                        local[p as usize] += (t + 1) as f64 * 0.125;
+                    }
+                    mine.push((region, local));
+                }
+            }
+        }
+        *partials[t].lock().unwrap() = Some(mine);
+    });
+
+    // Deterministic ordered combine of the reduction partials.
+    for slot in partials {
+        for (region, local) in slot.into_inner().unwrap().expect("task ran") {
+            let mut buf = regions[region].lock().unwrap();
+            for (dst, src) in buf.iter_mut().zip(&local) {
+                *dst += *src;
+            }
+        }
+    }
+
+    regions
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dag_serializes_every_conflicting_pair(launch in arb_launch()) {
+        let graph = TaskGraph::from_reqs(&launch);
+        prop_assert_eq!(graph.num_tasks(), launch.len());
+        for i in 0..launch.len() {
+            for j in (i + 1)..launch.len() {
+                if reqs_conflict(&launch[i], &launch[j]) {
+                    prop_assert!(
+                        graph.path_exists(i, j),
+                        "conflicting tasks {i} and {j} are unordered"
+                    );
+                } else {
+                    // Commuting pairs never get a *direct* edge.
+                    prop_assert!(
+                        !graph.successors(i).contains(&j),
+                        "commuting tasks {i} and {j} got an edge"
+                    );
+                }
+            }
+        }
+        // Task order is a topological order: edges only point forward.
+        for i in 0..launch.len() {
+            for &s in graph.successors(i) {
+                prop_assert!(s > i);
+            }
+        }
+        prop_assert!(graph.critical_path_len() <= launch.len().max(1));
+    }
+
+    #[test]
+    fn raw_war_waw_pairs_always_conflict(
+        lo in 0i64..40,
+        len in 0i64..10,
+        which in 0usize..3,
+    ) {
+        let write = RegionReq {
+            region: RegionId(0),
+            subset: IntervalSet::from_rect(Rect1::new(lo, lo + len)),
+            privilege: Privilege::ReadWrite,
+        };
+        let other = RegionReq {
+            region: RegionId(0),
+            subset: IntervalSet::from_rect(Rect1::new(lo + len, lo + len + 3)),
+            privilege: match which {
+                0 => Privilege::Read,      // WAR / RAW
+                1 => Privilege::ReadWrite, // WAW
+                _ => Privilege::Reduce,    // write vs reduction
+            },
+        };
+        // The subsets share the point `lo + len`, so all three serialize.
+        prop_assert!(reqs_conflict(
+            std::slice::from_ref(&write),
+            std::slice::from_ref(&other)
+        ));
+        // Moving the second subset past the first removes the conflict.
+        let disjoint = RegionReq {
+            subset: IntervalSet::from_rect(Rect1::new(lo + len + 1, lo + len + 4)),
+            ..other
+        };
+        prop_assert!(!reqs_conflict(
+            std::slice::from_ref(&write),
+            std::slice::from_ref(&disjoint)
+        ));
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial(launch in arb_launch()) {
+        let serial = execute(ExecMode::Serial, &launch);
+        for threads in [2usize, 4, 8] {
+            let parallel = execute(ExecMode::Parallel(threads), &launch);
+            prop_assert_eq!(
+                &parallel, &serial,
+                "bitwise divergence with {} threads", threads
+            );
+        }
+    }
+}

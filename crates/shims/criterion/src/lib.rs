@@ -1,0 +1,215 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks run `sample_size` timed iterations after one warm-up and
+//! print `group/id: median … (min …, max …, N samples)` to stdout. No
+//! statistics machinery, HTML reports, or CLI parsing — just enough to keep
+//! the workspace's `benches/*.rs` compiling and producing useful numbers in
+//! an offline environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_one(&label, self.sample_size, &mut f);
+    }
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.criterion.sample_size, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.criterion.sample_size, &mut |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to the closure; `iter` times the supplied routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples (Bencher::iter never called)");
+        return;
+    }
+    bencher.samples.sort();
+    let n = bencher.samples.len();
+    let median = if n % 2 == 1 {
+        bencher.samples[n / 2]
+    } else {
+        (bencher.samples[n / 2 - 1] + bencher.samples[n / 2]) / 2
+    };
+    println!(
+        "{label}: median {} (min {}, max {}, {n} samples)",
+        fmt_duration(median),
+        fmt_duration(bencher.samples[0]),
+        fmt_duration(bencher.samples[n - 1]),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..1000 * k).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

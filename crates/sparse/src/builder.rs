@@ -79,9 +79,7 @@ impl CooTensor {
         // (duplicate coordinates are *not* merged there) — that is what
         // makes {Compressed, Singleton} the COO layout. Dense levels cannot
         // precede a Singleton (their entries are coordinate-addressed).
-        if let Some(first_singleton) =
-            formats.iter().position(|f| *f == LevelFormat::Singleton)
-        {
+        if let Some(first_singleton) = formats.iter().position(|f| *f == LevelFormat::Singleton) {
             assert!(
                 formats[..first_singleton]
                     .iter()
@@ -156,10 +154,7 @@ impl CooTensor {
                         while s < g.end {
                             let c = self.coords[uniq[s].0][k];
                             let mut e = s;
-                            while e < g.end
-                                && split_by_value
-                                && self.coords[uniq[e].0][k] == c
-                            {
+                            while e < g.end && split_by_value && self.coords[uniq[e].0][k] == c {
                                 e += 1;
                             }
                             if !split_by_value {
@@ -183,11 +178,7 @@ impl CooTensor {
                 LevelFormat::Singleton => {
                     let mut crd = Vec::with_capacity(parent_entries);
                     for g in &groups {
-                        debug_assert_eq!(
-                            g.end - g.start,
-                            1,
-                            "singleton parents hold one element"
-                        );
+                        debug_assert_eq!(g.end - g.start, 1, "singleton parents hold one element");
                         crd.push(self.coords[uniq[g.start].0][k]);
                         next_groups.push(Group {
                             parent_entry: g.parent_entry,

@@ -59,7 +59,7 @@ pub fn transpose(t: &SpTensor) -> SpTensor {
 /// stored value) and every inner level is a singleton.
 pub fn to_coo_format(t: &SpTensor) -> SpTensor {
     let mut formats = vec![LevelFormat::Compressed];
-    formats.extend(std::iter::repeat(LevelFormat::Singleton).take(t.order() - 1));
+    formats.extend(std::iter::repeat_n(LevelFormat::Singleton, t.order() - 1));
     with_formats(t, &formats)
 }
 

@@ -100,26 +100,138 @@ impl DatasetSpec {
 /// The ten SuiteSparse matrices of Table II.
 pub fn matrices() -> Vec<DatasetSpec> {
     vec![
-        spec("arabic-2005", "Web Connectivity", 6.39e8, StructureClass::PowerLaw, 2, 210_000, 101),
-        spec("it-2004", "Web Connectivity", 1.15e9, StructureClass::PowerLaw, 2, 380_000, 102),
-        spec("kmer_A2a", "Protein Structure", 3.60e8, StructureClass::Regular, 2, 120_000, 103),
-        spec("kmer_V1r", "Protein Structure", 4.65e8, StructureClass::Regular, 2, 155_000, 104),
-        spec("mycielskian19", "Synthetic", 9.03e8, StructureClass::DenseRows, 2, 300_000, 105),
-        spec("nlpkkt240", "PDE's", 7.60e8, StructureClass::Banded, 2, 253_000, 106),
-        spec("sk-2005", "Web Connectivity", 1.94e9, StructureClass::PowerLaw, 2, 640_000, 107),
-        spec("twitter7", "Social Network", 1.46e9, StructureClass::PowerLaw, 2, 490_000, 108),
-        spec("uk-2005", "Web Connectivity", 9.36e8, StructureClass::PowerLaw, 2, 310_000, 109),
-        spec("webbase-2001", "Web Connectivity", 1.01e9, StructureClass::PowerLaw, 2, 340_000, 110),
+        spec(
+            "arabic-2005",
+            "Web Connectivity",
+            6.39e8,
+            StructureClass::PowerLaw,
+            2,
+            210_000,
+            101,
+        ),
+        spec(
+            "it-2004",
+            "Web Connectivity",
+            1.15e9,
+            StructureClass::PowerLaw,
+            2,
+            380_000,
+            102,
+        ),
+        spec(
+            "kmer_A2a",
+            "Protein Structure",
+            3.60e8,
+            StructureClass::Regular,
+            2,
+            120_000,
+            103,
+        ),
+        spec(
+            "kmer_V1r",
+            "Protein Structure",
+            4.65e8,
+            StructureClass::Regular,
+            2,
+            155_000,
+            104,
+        ),
+        spec(
+            "mycielskian19",
+            "Synthetic",
+            9.03e8,
+            StructureClass::DenseRows,
+            2,
+            300_000,
+            105,
+        ),
+        spec(
+            "nlpkkt240",
+            "PDE's",
+            7.60e8,
+            StructureClass::Banded,
+            2,
+            253_000,
+            106,
+        ),
+        spec(
+            "sk-2005",
+            "Web Connectivity",
+            1.94e9,
+            StructureClass::PowerLaw,
+            2,
+            640_000,
+            107,
+        ),
+        spec(
+            "twitter7",
+            "Social Network",
+            1.46e9,
+            StructureClass::PowerLaw,
+            2,
+            490_000,
+            108,
+        ),
+        spec(
+            "uk-2005",
+            "Web Connectivity",
+            9.36e8,
+            StructureClass::PowerLaw,
+            2,
+            310_000,
+            109,
+        ),
+        spec(
+            "webbase-2001",
+            "Web Connectivity",
+            1.01e9,
+            StructureClass::PowerLaw,
+            2,
+            340_000,
+            110,
+        ),
     ]
 }
 
 /// The four 3-tensors of Table II (Freebase + FROSTT).
 pub fn tensors3() -> Vec<DatasetSpec> {
     vec![
-        spec("freebase_music", "Data Mining", 1.74e9, StructureClass::SkewedTensor, 3, 480_000, 201),
-        spec("freebase_sampled", "Data Mining", 9.95e7, StructureClass::SkewedTensor, 3, 120_000, 202),
-        spec("nell-2", "NLP", 7.68e7, StructureClass::UniformTensor, 3, 96_000, 203),
-        spec("patents", "Data Mining", 3.59e9, StructureClass::DdsTensor, 3, 600_000, 204),
+        spec(
+            "freebase_music",
+            "Data Mining",
+            1.74e9,
+            StructureClass::SkewedTensor,
+            3,
+            480_000,
+            201,
+        ),
+        spec(
+            "freebase_sampled",
+            "Data Mining",
+            9.95e7,
+            StructureClass::SkewedTensor,
+            3,
+            120_000,
+            202,
+        ),
+        spec(
+            "nell-2",
+            "NLP",
+            7.68e7,
+            StructureClass::UniformTensor,
+            3,
+            96_000,
+            203,
+        ),
+        spec(
+            "patents",
+            "Data Mining",
+            3.59e9,
+            StructureClass::DdsTensor,
+            3,
+            600_000,
+            204,
+        ),
     ]
 }
 

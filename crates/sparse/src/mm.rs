@@ -42,9 +42,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 /// Supports `general` and `symmetric` symmetry.
 pub fn read_matrix(r: impl Read) -> Result<SpTensor, MmError> {
     let mut lines = BufReader::new(r).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty stream"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty stream"))??;
     if !header.starts_with("%%MatrixMarket") {
         return Err(parse_err("missing %%MatrixMarket header"));
     }
@@ -79,9 +77,9 @@ pub fn read_matrix(r: impl Read) -> Result<SpTensor, MmError> {
         let mut it = trimmed.split_whitespace();
         let i: i64 = next_num(&mut it, "row index")?;
         let j: i64 = next_num(&mut it, "col index")?;
-        let v: f64 = it.next().map_or(Ok(1.0), |s| {
-            s.parse().map_err(|_| parse_err("bad value"))
-        })?;
+        let v: f64 = it
+            .next()
+            .map_or(Ok(1.0), |s| s.parse().map_err(|_| parse_err("bad value")))?;
         // MatrixMarket is 1-indexed.
         coo.push(&[i - 1, j - 1], v);
         if symmetric && i != j {
@@ -204,9 +202,6 @@ mod tests {
         let text = "# a tensor\n2 3 4 2\n1 1 1 1.5\n2 3 4 2.5\n";
         let t = read_tensor3(text.as_bytes()).unwrap();
         assert_eq!(t.dims(), &[2, 3, 4]);
-        assert_eq!(
-            t.to_coo(),
-            vec![(vec![0, 0, 0], 1.5), (vec![1, 2, 3], 2.5)]
-        );
+        assert_eq!(t.to_coo(), vec![(vec![0, 0, 0], 1.5), (vec![1, 2, 3], 2.5)]);
     }
 }

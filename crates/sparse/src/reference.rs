@@ -15,8 +15,6 @@
 //! Bolded tensors in the paper (`B`, and `C`/`D` in SpAdd3) are sparse; all
 //! others dense.
 
-
-
 use crate::builder::CooTensor;
 use crate::tensor::{LevelFormat, SpTensor};
 

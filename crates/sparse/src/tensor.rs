@@ -236,9 +236,7 @@ impl SpTensor {
             return None;
         }
         match (&self.levels[0], &self.levels[1]) {
-            (Level::Dense { .. }, Level::Compressed { pos, crd }) => {
-                Some((pos, crd, &self.vals))
-            }
+            (Level::Dense { .. }, Level::Compressed { pos, crd }) => Some((pos, crd, &self.vals)),
             _ => None,
         }
     }

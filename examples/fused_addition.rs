@@ -9,9 +9,9 @@
 //! ```
 
 use spdistal_repro::baselines::{ctf, petsc, trilinos};
+use spdistal_repro::sparse::{generate, reference};
 use spdistal_repro::spdistal::prelude::*;
 use spdistal_repro::spdistal::{access, assign, schedule_outer_dim};
-use spdistal_repro::sparse::{generate, reference};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pieces = 8;
@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ctf_r, _) = ctf::spadd3(&machine, &b, &c, &d);
     assert!(reference::tensors_approx_eq(&petsc_out, &expect, 1e-12));
 
-    println!("A = B + C + D on {pieces} simulated nodes ({} nnz inputs)", b.nnz());
+    println!(
+        "A = B + C + D on {pieces} simulated nodes ({} nnz inputs)",
+        b.nnz()
+    );
     println!("{:<22}{:>14}{:>12}", "system", "time (ms)", "vs SpDISTAL");
     let rows_out = [
         ("SpDISTAL (fused)", result.time),
@@ -61,12 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("CTF (interpreted)", ctf_r.time),
     ];
     for (name, t) in rows_out {
-        println!(
-            "{:<22}{:>14.4}{:>11.1}x",
-            name,
-            t * 1e3,
-            t / result.time
-        );
+        println!("{:<22}{:>14.4}{:>11.1}x", name, t * 1e3, t / result.time);
     }
     println!("\nfusion avoids the materialized temporary and its second assembly pass.");
     Ok(())

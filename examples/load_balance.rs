@@ -11,9 +11,9 @@
 //! cargo run --release --example load_balance
 //! ```
 
+use spdistal_repro::sparse::{dense_vector, reference, CooTensor, LevelFormat};
 use spdistal_repro::spdistal::prelude::*;
 use spdistal_repro::spdistal::{access, assign, schedule_nonzero, schedule_outer_dim};
-use spdistal_repro::sparse::{dense_vector, reference, CooTensor, LevelFormat};
 
 /// A pathologically skewed matrix: a few very dense rows at one end.
 fn skewed_matrix(n: usize) -> spdistal_repro::sparse::SpTensor {
@@ -70,7 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &expect,
             1e-12
         ));
-        report.push((name, imbalance, result.time, result.comm_bytes, plan.output.reduce));
+        report.push((
+            name,
+            imbalance,
+            result.time,
+            result.comm_bytes,
+            plan.output.reduce,
+        ));
     }
 
     println!("SpMV on a skewed matrix, {pieces} simulated nodes:");

@@ -2,12 +2,35 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --parallel [N_THREADS]
 //! ```
+//!
+//! With `--parallel`, the leaf kernels additionally run on the
+//! dependence-driven work-stealing executor and the example reports real
+//! wall-clock time for both modes (the simulated time is identical by
+//! construction: the executor never feeds back into the cost model).
 
-use spdistal_repro::spdistal::prelude::*;
 use spdistal_repro::sparse::{dense_vector, generate, reference};
+use spdistal_repro::spdistal::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Optional: `--parallel [N]` exercises the parallel executor.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parallel_threads = match args.iter().position(|a| a == "--parallel") {
+        Some(k) => Some(
+            args.get(k + 1)
+                .and_then(|n| n.parse::<usize>().ok())
+                .unwrap_or(0), // 0 = ask the OS for available parallelism
+        ),
+        None => {
+            if let Some(unknown) = args.first() {
+                eprintln!("unknown argument '{unknown}' (supported: --parallel [N])");
+                std::process::exit(2);
+            }
+            None
+        }
+    };
+
     // Param pieces, n, m;  Machine M(Grid(pieces));
     let pieces = 4;
     let machine = Machine::grid1d(pieces, MachineProfile::lassen_cpu());
@@ -48,8 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .communicate(&["a", "B", "c"], io)
         .parallelize(ii, ParallelUnit::CpuThread);
 
-    // Compile and execute on the simulated machine.
-    let result = ctx.compile_and_run(&stmt, &sched)?;
+    // Compile once; execute on the simulated machine (serial leaf kernels).
+    let plan = ctx.compile(&stmt, &sched)?;
+    let result = ctx.run(&plan)?;
 
     // Check against the serial oracle.
     let expect = reference::spmv(&b_data, &c_data);
@@ -58,8 +82,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("distributed SpMV on {pieces} simulated nodes");
     println!("  simulated time : {:.3} ms", result.time * 1e3);
-    println!("  communication  : {} bytes in {} messages", result.comm_bytes, result.messages);
+    println!(
+        "  communication  : {} bytes in {} messages",
+        result.comm_bytes, result.messages
+    );
     println!("  modeled ops    : {:.0}", result.ops);
+    println!(
+        "  serial compute : {:.3} ms wall-clock",
+        result.wall_time * 1e3
+    );
     println!("  result matches the serial reference ✔");
+
+    // With --parallel: the same plan on the work-stealing executor. The
+    // output is bit-identical; only real wall-clock changes.
+    if let Some(threads) = parallel_threads {
+        let mode = ExecMode::Parallel(threads);
+        let par = ctx.run_with_mode(&plan, mode)?;
+        let par_out = par.output.as_tensor().expect("dense vector output");
+        assert!(
+            got.vals()
+                .iter()
+                .zip(par_out.vals())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "parallel output must be bit-identical to serial"
+        );
+        println!("parallel executor ({} threads)", par.sched.threads);
+        println!(
+            "  parallel compute : {:.3} ms wall-clock",
+            par.wall_time * 1e3
+        );
+        println!(
+            "  task graph       : {} tasks, {} edges, critical path {}",
+            par.sched.tasks, par.sched.edges, par.sched.critical_path
+        );
+        println!("  steals           : {}", par.sched.steals);
+        println!(
+            "  speedup          : {:.2}x over serial compute",
+            result.wall_time / par.wall_time.max(1e-12)
+        );
+        println!("  bit-identical to the serial path ✔");
+    }
     Ok(())
 }

@@ -9,9 +9,9 @@
 //! cargo run --release --example tensor_factorization
 //! ```
 
+use spdistal_repro::sparse::{dense_matrix, generate, reference};
 use spdistal_repro::spdistal::prelude::*;
 use spdistal_repro::spdistal::{access, assign, schedule_outer_dim};
-use spdistal_repro::sparse::{dense_matrix, generate, reference};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pieces = 8;
@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sched = schedule_outer_dim(&mut ctx, &stmt, pieces, ParallelUnit::CpuThread);
     let plan = ctx.compile(&stmt, &sched)?;
 
-    println!("CP-ALS mode-0 sweeps: SpMTTKRP on a {:?} tensor, rank {rank}, {pieces} nodes", dims);
+    println!(
+        "CP-ALS mode-0 sweeps: SpMTTKRP on a {:?} tensor, rank {rank}, {pieces} nodes",
+        dims
+    );
     let mut total_time = 0.0;
     for sweep in 0..sweeps {
         let result = ctx.run(&plan)?;

@@ -4,9 +4,9 @@
 //! OOM rather than wrong answers.
 
 use spdistal_repro::runtime::{Machine, MachineProfile, RuntimeError};
+use spdistal_repro::sparse::{dense_vector, generate};
 use spdistal_repro::spdistal::prelude::*;
 use spdistal_repro::spdistal::{access, assign, schedule_nonzero, schedule_outer_dim};
-use spdistal_repro::sparse::{dense_vector, generate};
 
 fn spmv_stmt(ctx: &mut Context) -> spdistal_repro::ir::Assignment {
     let [i, j] = ctx.fresh_vars(["i", "j"]);
@@ -84,8 +84,12 @@ fn nonzero_schedule_beats_rows_on_skew() {
         } else {
             Format::blocked_csr()
         };
-        ctx.add_tensor("a", dense_vector(vec![0.0; 4000]), Format::blocked_dense_vec())
-            .unwrap();
+        ctx.add_tensor(
+            "a",
+            dense_vector(vec![0.0; 4000]),
+            Format::blocked_dense_vec(),
+        )
+        .unwrap();
         ctx.add_tensor("B", b.clone(), fmt).unwrap();
         ctx.add_tensor("c", dense_vector(c.clone()), Format::replicated_dense_vec())
             .unwrap();
@@ -125,8 +129,12 @@ fn gpu_oom_is_an_error() {
 fn bad_schedules_rejected() {
     let b = generate::uniform(100, 100, 500, 6);
     let mut ctx = Context::new(Machine::grid1d(4, MachineProfile::lassen_cpu()));
-    ctx.add_tensor("a", dense_vector(vec![0.0; 100]), Format::blocked_dense_vec())
-        .unwrap();
+    ctx.add_tensor(
+        "a",
+        dense_vector(vec![0.0; 100]),
+        Format::blocked_dense_vec(),
+    )
+    .unwrap();
     ctx.add_tensor("B", b, Format::blocked_csr()).unwrap();
     ctx.add_tensor(
         "c",
@@ -161,8 +169,12 @@ fn deferred_execution_decouples_processors() {
     triplets.push((1500, 0, 1.0));
     let b = spdistal_repro::sparse::csr_from_triplets(2000, 2000, &triplets);
     let mut ctx = Context::new(Machine::grid1d(4, MachineProfile::lassen_cpu()));
-    ctx.add_tensor("a", dense_vector(vec![0.0; 2000]), Format::blocked_dense_vec())
-        .unwrap();
+    ctx.add_tensor(
+        "a",
+        dense_vector(vec![0.0; 2000]),
+        Format::blocked_dense_vec(),
+    )
+    .unwrap();
     ctx.add_tensor("B", b, Format::blocked_csr()).unwrap();
     ctx.add_tensor(
         "c",

@@ -2,9 +2,9 @@
 //! compile → simulated distributed execution) for every evaluation kernel,
 //! checked against the serial oracles at several machine sizes.
 
+use spdistal_repro::sparse::{dense_matrix, dense_vector, generate, reference};
 use spdistal_repro::spdistal::prelude::*;
 use spdistal_repro::spdistal::{access, assign, schedule_nonzero, schedule_outer_dim};
-use spdistal_repro::sparse::{dense_matrix, dense_vector, generate, reference};
 
 const NODE_COUNTS: [usize; 3] = [1, 3, 8];
 const WIDTH: usize = 8;
@@ -23,7 +23,8 @@ fn spmv_row_based_all_node_counts() {
         let mut ctx = cpu_ctx(nodes);
         ctx.add_tensor("a", dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
             .unwrap();
-        ctx.add_tensor("B", b.clone(), Format::blocked_csr()).unwrap();
+        ctx.add_tensor("B", b.clone(), Format::blocked_csr())
+            .unwrap();
         ctx.add_tensor("c", dense_vector(c.clone()), Format::replicated_dense_vec())
             .unwrap();
         let [i, j] = ctx.fresh_vars(["i", "j"]);
@@ -47,7 +48,8 @@ fn spmv_nonzero_all_node_counts() {
         let mut ctx = cpu_ctx(nodes);
         ctx.add_tensor("a", dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
             .unwrap();
-        ctx.add_tensor("B", b.clone(), Format::nonzero_csr()).unwrap();
+        ctx.add_tensor("B", b.clone(), Format::nonzero_csr())
+            .unwrap();
         ctx.add_tensor("c", dense_vector(c.clone()), Format::replicated_dense_vec())
             .unwrap();
         let [i, j] = ctx.fresh_vars(["i", "j"]);
@@ -75,7 +77,8 @@ fn spmm_matches_reference() {
             Format::blocked_dense_matrix(),
         )
         .unwrap();
-        ctx.add_tensor("B", b.clone(), Format::blocked_csr()).unwrap();
+        ctx.add_tensor("B", b.clone(), Format::blocked_csr())
+            .unwrap();
         ctx.add_tensor(
             "C",
             dense_matrix(250, WIDTH, c.clone()),
@@ -102,7 +105,8 @@ fn spadd3_assembles_union_pattern() {
     for nodes in NODE_COUNTS {
         let mut ctx = cpu_ctx(nodes);
         for (name, t) in [("B", &b), ("C", &c), ("D", &d)] {
-            ctx.add_tensor(name, t.clone(), Format::blocked_csr()).unwrap();
+            ctx.add_tensor(name, t.clone(), Format::blocked_csr())
+                .unwrap();
         }
         ctx.add_tensor(
             "A",
@@ -138,8 +142,10 @@ fn sddmm_nonzero_schedule() {
     let expect = reference::sddmm(&b, &c, &d, WIDTH);
     for nodes in NODE_COUNTS {
         let mut ctx = cpu_ctx(nodes);
-        ctx.add_tensor("A", b.clone(), Format::blocked_csr()).unwrap();
-        ctx.add_tensor("B", b.clone(), Format::nonzero_csr()).unwrap();
+        ctx.add_tensor("A", b.clone(), Format::blocked_csr())
+            .unwrap();
+        ctx.add_tensor("B", b.clone(), Format::nonzero_csr())
+            .unwrap();
         ctx.add_tensor(
             "C",
             dense_matrix(n, WIDTH, c.clone()),
@@ -212,7 +218,8 @@ fn spmttkrp_matches_reference() {
     let expect = reference::spmttkrp(&b, &c, &d, WIDTH);
     for nodes in NODE_COUNTS {
         let mut ctx = cpu_ctx(nodes);
-        ctx.add_tensor("B", b.clone(), Format::blocked_csf3()).unwrap();
+        ctx.add_tensor("B", b.clone(), Format::blocked_csf3())
+            .unwrap();
         ctx.add_tensor(
             "A",
             dense_matrix(50, WIDTH, vec![0.0; 50 * WIDTH]),
@@ -267,7 +274,9 @@ fn coo_format_spmv_nonzero_distribution() {
             b.clone(),
             Format::new(
                 vec![LevelFormat::Compressed, LevelFormat::Singleton],
-                Distribution::new("xy", "~f").unwrap().with_fusion("xy", 'f'),
+                Distribution::new("xy", "~f")
+                    .unwrap()
+                    .with_fusion("xy", 'f'),
             ),
         )
         .unwrap();

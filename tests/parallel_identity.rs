@@ -1,0 +1,271 @@
+//! The parallel executor contract: for every evaluation kernel and both
+//! schedule families, `ExecMode::Parallel(n)` produces **bit-identical**
+//! `OutputValue`s to `ExecMode::Serial` — conflicting point tasks are
+//! serialized in color order by the dependence graph, reductions combine
+//! in color order, and disjoint writers touch disjoint elements.
+
+use spdistal_repro::sparse::{dense_matrix, dense_vector, generate};
+use spdistal_repro::spdistal::prelude::*;
+use spdistal_repro::spdistal::{access, assign, schedule_nonzero, schedule_outer_dim};
+
+const WIDTH: usize = 8;
+
+fn assert_bit_identical(kernel: &str, serial: &OutputValue, parallel: &OutputValue) {
+    let (a, b) = match (serial, parallel) {
+        (OutputValue::Tensor(x), OutputValue::Tensor(y)) => {
+            assert_eq!(x.dims(), y.dims(), "{kernel}: dims");
+            assert_eq!(x.levels(), y.levels(), "{kernel}: structure");
+            (x.vals(), y.vals())
+        }
+        (OutputValue::Dense(x), OutputValue::Dense(y)) => (&x[..], &y[..]),
+        _ => panic!("{kernel}: output kinds differ between modes"),
+    };
+    assert_eq!(a.len(), b.len(), "{kernel}: value count");
+    for (i, (u, v)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            u.to_bits(),
+            v.to_bits(),
+            "{kernel}: value {i} differs ({u} vs {v})"
+        );
+    }
+}
+
+/// Build a fresh context, run one kernel under `mode`, return the result.
+fn run_kernel(kernel: &str, mode: ExecMode, nodes: usize) -> ExecResult {
+    let mut ctx =
+        Context::new(Machine::grid1d(nodes, MachineProfile::lassen_cpu())).with_exec_mode(mode);
+    let (stmt, sched) = match kernel {
+        "spmv_row" | "spmv_nonzero" => {
+            let b = generate::rmat_default(8, 3000, 21);
+            let n = b.dims()[0];
+            let nonzero = kernel == "spmv_nonzero";
+            let fmt = if nonzero {
+                Format::nonzero_csr()
+            } else {
+                Format::blocked_csr()
+            };
+            ctx.add_tensor("a", dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
+                .unwrap();
+            ctx.add_tensor("B", b, fmt).unwrap();
+            ctx.add_tensor(
+                "c",
+                dense_vector(generate::dense_vec(n, 22)),
+                Format::replicated_dense_vec(),
+            )
+            .unwrap();
+            let [i, j] = ctx.fresh_vars(["i", "j"]);
+            let stmt = assign("a", &[i], access("B", &[i, j]) * access("c", &[j]));
+            let sched = if nonzero {
+                schedule_nonzero(&mut ctx, &stmt, "B", 2, nodes, ParallelUnit::CpuThread).unwrap()
+            } else {
+                schedule_outer_dim(&mut ctx, &stmt, nodes, ParallelUnit::CpuThread)
+            };
+            (stmt, sched)
+        }
+        "spmm" => {
+            let b = generate::uniform(200, 160, 2500, 23);
+            ctx.add_tensor(
+                "A",
+                dense_matrix(200, WIDTH, vec![0.0; 200 * WIDTH]),
+                Format::blocked_dense_matrix(),
+            )
+            .unwrap();
+            ctx.add_tensor("B", b, Format::blocked_csr()).unwrap();
+            ctx.add_tensor(
+                "C",
+                dense_matrix(160, WIDTH, generate::dense_buffer(160, WIDTH, 24)),
+                Format::replicated_dense_matrix(),
+            )
+            .unwrap();
+            let [i, j, k] = ctx.fresh_vars(["i", "j", "k"]);
+            let stmt = assign("A", &[i, j], access("B", &[i, k]) * access("C", &[k, j]));
+            let sched = schedule_outer_dim(&mut ctx, &stmt, nodes, ParallelUnit::CpuThread);
+            (stmt, sched)
+        }
+        "spadd3" => {
+            let b = generate::uniform(150, 140, 1800, 25);
+            let c = generate::shift_last_dim(&b, 3);
+            let d = generate::shift_last_dim(&b, 7);
+            for (name, t) in [("B", &b), ("C", &c), ("D", &d)] {
+                ctx.add_tensor(name, t.clone(), Format::blocked_csr())
+                    .unwrap();
+            }
+            ctx.add_tensor(
+                "A",
+                spdistal_repro::spdistal::plan::empty_csr(150, 140),
+                Format::blocked_csr(),
+            )
+            .unwrap();
+            let [i, j] = ctx.fresh_vars(["i", "j"]);
+            let stmt = assign(
+                "A",
+                &[i, j],
+                access("B", &[i, j]) + access("C", &[i, j]) + access("D", &[i, j]),
+            );
+            let sched = schedule_outer_dim(&mut ctx, &stmt, nodes, ParallelUnit::CpuThread);
+            (stmt, sched)
+        }
+        "sddmm" => {
+            let b = generate::rmat_default(7, 1500, 27);
+            let (n, m) = (b.dims()[0], b.dims()[1]);
+            ctx.add_tensor("A", b.clone(), Format::blocked_csr())
+                .unwrap();
+            ctx.add_tensor("B", b, Format::nonzero_csr()).unwrap();
+            ctx.add_tensor(
+                "C",
+                dense_matrix(n, WIDTH, generate::dense_buffer(n, WIDTH, 28)),
+                Format::staged_dense_matrix(),
+            )
+            .unwrap();
+            ctx.add_tensor(
+                "D",
+                dense_matrix(WIDTH, m, generate::dense_buffer(WIDTH, m, 29)),
+                Format::staged_dense_matrix(),
+            )
+            .unwrap();
+            let [i, j, k] = ctx.fresh_vars(["i", "j", "k"]);
+            let stmt = assign(
+                "A",
+                &[i, j],
+                access("B", &[i, j]) * access("C", &[i, k]) * access("D", &[k, j]),
+            );
+            let sched =
+                schedule_nonzero(&mut ctx, &stmt, "B", 2, nodes, ParallelUnit::CpuThread).unwrap();
+            (stmt, sched)
+        }
+        "spttv_row" | "spttv_nonzero" => {
+            let b = generate::tensor3_skewed([40, 30, 35], 2500, 0.9, 31);
+            let nonzero = kernel == "spttv_nonzero";
+            let fmt = if nonzero {
+                Format::nonzero_csf3()
+            } else {
+                Format::blocked_csf3()
+            };
+            ctx.add_tensor("B", b.clone(), fmt).unwrap();
+            let fibers = spdistal_repro::spdistal::kernels::tensor3::spttv_output(
+                &b,
+                vec![0.0; spdistal_repro::spdistal::level_funcs::entry_counts(&b)[1] as usize],
+            );
+            ctx.add_tensor("A", fibers, Format::blocked_csr()).unwrap();
+            ctx.add_tensor(
+                "c",
+                dense_vector(generate::dense_vec(35, 32)),
+                Format::replicated_dense_vec(),
+            )
+            .unwrap();
+            let [i, j, k] = ctx.fresh_vars(["i", "j", "k"]);
+            let stmt = assign("A", &[i, j], access("B", &[i, j, k]) * access("c", &[k]));
+            let sched = if nonzero {
+                schedule_nonzero(&mut ctx, &stmt, "B", 3, nodes, ParallelUnit::CpuThread).unwrap()
+            } else {
+                schedule_outer_dim(&mut ctx, &stmt, nodes, ParallelUnit::CpuThread)
+            };
+            (stmt, sched)
+        }
+        "spmttkrp" => {
+            let b = generate::tensor3_uniform([40, 35, 45], 2200, 33);
+            ctx.add_tensor("B", b, Format::blocked_csf3()).unwrap();
+            ctx.add_tensor(
+                "A",
+                dense_matrix(40, WIDTH, vec![0.0; 40 * WIDTH]),
+                Format::blocked_dense_matrix(),
+            )
+            .unwrap();
+            ctx.add_tensor(
+                "C",
+                dense_matrix(35, WIDTH, generate::dense_buffer(35, WIDTH, 34)),
+                Format::replicated_dense_matrix(),
+            )
+            .unwrap();
+            ctx.add_tensor(
+                "D",
+                dense_matrix(45, WIDTH, generate::dense_buffer(45, WIDTH, 35)),
+                Format::replicated_dense_matrix(),
+            )
+            .unwrap();
+            let [i, l, j, k] = ctx.fresh_vars(["i", "l", "j", "k"]);
+            let stmt = assign(
+                "A",
+                &[i, l],
+                access("B", &[i, j, k]) * access("C", &[j, l]) * access("D", &[k, l]),
+            );
+            let sched = schedule_outer_dim(&mut ctx, &stmt, nodes, ParallelUnit::CpuThread);
+            (stmt, sched)
+        }
+        other => panic!("unknown kernel {other}"),
+    };
+    ctx.compile_and_run(&stmt, &sched).unwrap()
+}
+
+const KERNELS: [&str; 8] = [
+    "spmv_row",
+    "spmv_nonzero",
+    "spmm",
+    "spadd3",
+    "sddmm",
+    "spttv_row",
+    "spttv_nonzero",
+    "spmttkrp",
+];
+
+#[test]
+fn parallel_is_bit_identical_to_serial_on_every_kernel() {
+    for kernel in KERNELS {
+        let serial = run_kernel(kernel, ExecMode::Serial, 6);
+        for threads in [2usize, 4, 8] {
+            let parallel = run_kernel(kernel, ExecMode::Parallel(threads), 6);
+            assert_bit_identical(kernel, &serial.output, &parallel.output);
+            // Simulated time is the cost model and must not depend on the
+            // real executor at all.
+            assert_eq!(
+                serial.time, parallel.time,
+                "{kernel}: simulated time must not depend on ExecMode"
+            );
+        }
+    }
+}
+
+#[test]
+fn executor_report_reflects_launch_shape() {
+    let nodes = 6;
+    let serial = run_kernel("spmm", ExecMode::Serial, nodes);
+    assert_eq!(serial.sched.tasks, nodes);
+    assert_eq!(serial.sched.threads, 1);
+    assert_eq!(serial.sched.steals, 0);
+    assert!(serial.wall_time > 0.0);
+
+    let parallel = run_kernel("spmm", ExecMode::Parallel(3), nodes);
+    assert_eq!(parallel.sched.tasks, nodes);
+    assert_eq!(parallel.sched.threads, 3);
+    assert!(parallel.wall_time > 0.0);
+    // Row-blocked SpMM point tasks are independent: no dependence edges.
+    assert_eq!(parallel.sched.edges, 0);
+    assert_eq!(parallel.sched.critical_path, 1);
+}
+
+#[test]
+fn run_with_mode_restores_previous_mode() {
+    let mut ctx = Context::new(Machine::grid1d(4, MachineProfile::lassen_cpu()));
+    let b = generate::banded(256, 5, 41);
+    ctx.add_tensor(
+        "a",
+        dense_vector(vec![0.0; 256]),
+        Format::blocked_dense_vec(),
+    )
+    .unwrap();
+    ctx.add_tensor("B", b, Format::blocked_csr()).unwrap();
+    ctx.add_tensor(
+        "c",
+        dense_vector(generate::dense_vec(256, 42)),
+        Format::replicated_dense_vec(),
+    )
+    .unwrap();
+    let [i, j] = ctx.fresh_vars(["i", "j"]);
+    let stmt = assign("a", &[i], access("B", &[i, j]) * access("c", &[j]));
+    let sched = schedule_outer_dim(&mut ctx, &stmt, 4, ParallelUnit::CpuThread);
+    let plan = ctx.compile(&stmt, &sched).unwrap();
+    assert_eq!(ctx.exec_mode(), ExecMode::Serial);
+    let r = ctx.run_with_mode(&plan, ExecMode::Parallel(2)).unwrap();
+    assert_eq!(r.sched.threads, 2);
+    assert_eq!(ctx.exec_mode(), ExecMode::Serial);
+}

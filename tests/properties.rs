@@ -12,14 +12,14 @@ use proptest::prelude::*;
 
 use spdistal_repro::ir;
 use spdistal_repro::runtime::{image_rects, preimage_rects, Partition};
+use spdistal_repro::sparse::{
+    convert, dense_vector, reference, CooTensor, Level, LevelFormat, SpTensor,
+};
 use spdistal_repro::spdistal::level_funcs::{
     equal_coord_bounds, nonzero_partition, partition_tensor, universe_partition,
 };
 use spdistal_repro::spdistal::prelude::*;
 use spdistal_repro::spdistal::{access, assign, schedule_nonzero, schedule_outer_dim};
-use spdistal_repro::sparse::{
-    convert, dense_vector, reference, CooTensor, Level, LevelFormat, SpTensor,
-};
 
 /// Strategy: an arbitrary small sparse matrix in CSR.
 fn arb_matrix() -> impl Strategy<Value = SpTensor> {
