@@ -15,8 +15,15 @@ cargo build --release
 echo "==> cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
 cargo test --workspace -q
 
+echo "==> pipeline tests: inter-launch dependence props + bitwise identity"
+cargo test -q -p spdistal-runtime --test pipeline_props
+cargo test -q --test pipeline_identity
+
 echo "==> bench smoke: parallel_exec (serial vs parallel wall-clock)"
 cargo bench -p spdistal-bench --bench parallel_exec
+
+echo "==> bench smoke: pipeline_exec (launch-at-a-time vs pipelined CP-ALS)"
+cargo bench -p spdistal-bench --bench pipeline_exec
 
 echo "==> bench smoke: fig10 strong scaling (small scale)"
 SPDISTAL_SCALE=0.05 cargo run --release -q -p spdistal-bench --bin fig10_cpu_strong_scaling

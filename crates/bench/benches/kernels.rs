@@ -28,7 +28,13 @@ fn leaf_kernels(c: &mut Criterion) {
         bench.iter(|| {
             let mut out = vec![0.0; n];
             for col in 0..colors {
-                spdistal::kernels::matrix::spmv_color(&b, &row_part, col, &x, &mut out);
+                spdistal::kernels::matrix::spmv_color(
+                    &b,
+                    &row_part,
+                    col,
+                    &x,
+                    &spdistal::OutVals::new(&mut out),
+                );
             }
             out
         })
@@ -37,7 +43,13 @@ fn leaf_kernels(c: &mut Criterion) {
         bench.iter(|| {
             let mut out = vec![0.0; n];
             for col in 0..colors {
-                spdistal::kernels::matrix::spmv_color(&b, &nz_part, col, &x, &mut out);
+                spdistal::kernels::matrix::spmv_color(
+                    &b,
+                    &nz_part,
+                    col,
+                    &x,
+                    &spdistal::OutVals::new(&mut out),
+                );
             }
             out
         })

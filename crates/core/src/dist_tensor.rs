@@ -37,6 +37,9 @@ pub enum Error {
     Runtime(RuntimeError),
     UnknownTensor(String),
     Unsupported(String),
+    /// A deferred execution never ran because an earlier queued plan in
+    /// the same session failed; the message names the original failure.
+    Aborted(String),
 }
 
 impl std::fmt::Display for Error {
@@ -47,6 +50,7 @@ impl std::fmt::Display for Error {
             Error::Runtime(e) => write!(f, "{e}"),
             Error::UnknownTensor(t) => write!(f, "unknown tensor '{t}'"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Aborted(m) => write!(f, "deferred execution aborted: {m}"),
         }
     }
 }

@@ -9,7 +9,7 @@
 use spdistal_runtime::Rect1;
 use spdistal_sparse::{Level, SpTensor};
 
-use super::walk_partitioned;
+use super::{walk_partitioned, OutVals};
 use crate::level_funcs::TensorPartition;
 
 /// SpMV for one color: `a(i) += B(i,j) * c(j)` over the color's entries.
@@ -18,11 +18,11 @@ pub fn spmv_color(
     part: &TensorPartition,
     color: usize,
     c: &[f64],
-    out: &mut [f64],
+    out: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
     walk_partitioned(b, part, color, &mut |coords, _, v| {
-        out[coords[0] as usize] += v * c[coords[1] as usize];
+        out.add(coords[0] as usize, v * c[coords[1] as usize]);
         ops += 1;
     });
     ops as f64
@@ -36,16 +36,12 @@ pub fn spmm_color(
     color: usize,
     c: &[f64],
     jdim: usize,
-    out: &mut [f64],
+    out: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
     walk_partitioned(b, part, color, &mut |coords, _, v| {
         let (i, k) = (coords[0] as usize, coords[1] as usize);
-        let arow = &mut out[i * jdim..(i + 1) * jdim];
-        let crow = &c[k * jdim..(k + 1) * jdim];
-        for (aj, cj) in arow.iter_mut().zip(crow) {
-            *aj += v * cj;
-        }
+        out.add_scaled(i * jdim, v, &c[k * jdim..(k + 1) * jdim]);
         ops += jdim as u64;
     });
     ops as f64
@@ -62,7 +58,7 @@ pub fn sddmm_color(
     d: &[f64],
     kdim: usize,
     jdim: usize,
-    out_vals: &mut [f64],
+    out_vals: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
     walk_partitioned(b, part, color, &mut |coords, entries, v| {
@@ -71,7 +67,7 @@ pub fn sddmm_color(
         for k in 0..kdim {
             dot += c[i * kdim + k] * d[k * jdim + j];
         }
-        out_vals[entries[1]] = v * dot;
+        out_vals.set(entries[1], v * dot);
         ops += kdim as u64;
     });
     ops as f64
@@ -217,7 +213,7 @@ mod tests {
             let mut out = vec![0.0; n];
             let mut total_ops = 0.0;
             for col in 0..colors {
-                total_ops += spmv_color(&b, &pu, col, &c, &mut out);
+                total_ops += spmv_color(&b, &pu, col, &c, &OutVals::new(&mut out));
             }
             assert!(reference::approx_eq(&out, &expect, 1e-12));
             assert_eq!(total_ops as usize, b.nnz());
@@ -225,7 +221,7 @@ mod tests {
             let pz = partition_tensor(&b, 1, nonzero_partition(&b, 1, colors));
             let mut out2 = vec![0.0; n];
             for col in 0..colors {
-                spmv_color(&b, &pz, col, &c, &mut out2);
+                spmv_color(&b, &pz, col, &c, &OutVals::new(&mut out2));
             }
             assert!(reference::approx_eq(&out2, &expect, 1e-12));
         }
@@ -240,7 +236,7 @@ mod tests {
         let p = row_part(&b, 4);
         let mut out = vec![0.0; 40 * jdim];
         for col in 0..4 {
-            spmm_color(&b, &p, col, &c, jdim, &mut out);
+            spmm_color(&b, &p, col, &c, jdim, &OutVals::new(&mut out));
         }
         assert!(reference::approx_eq(&out, &expect, 1e-12));
     }
@@ -256,7 +252,7 @@ mod tests {
         let p = partition_tensor(&b, 1, nonzero_partition(&b, 1, 5));
         let mut vals = vec![0.0; b.num_stored()];
         for col in 0..5 {
-            sddmm_color(&b, &p, col, &c, &d, kdim, m, &mut vals);
+            sddmm_color(&b, &p, col, &c, &d, kdim, m, &OutVals::new(&mut vals));
         }
         assert!(reference::approx_eq(&vals, expect.vals(), 1e-12));
     }

@@ -159,6 +159,127 @@ pub fn recognize(stmt: &Assignment, lookup: &dyn Fn(&str) -> Option<TensorInfo>)
     }
 }
 
+/// The shared output view the leaf kernels write through.
+///
+/// Point tasks of one launch may hold views over the *same* output buffer
+/// concurrently (disjoint output partitions write in place). Routing those
+/// writes through raw pointers — instead of handing each task a
+/// `&mut [f64]` over the whole buffer — keeps the aliasing model honest:
+/// no two `&mut` views of one allocation are ever live at once, so the
+/// pattern is clean under Miri's aliasing rules, not merely race-free.
+///
+/// Disjointness is still the caller's contract, exactly as it is for the
+/// dependence graph: [`OutVals::new`] takes an exclusive borrow (sound for
+/// any single-threaded use), and the `Sync` impl extends that to shared
+/// use under plan execution's guarantee that tasks with overlapping,
+/// non-commuting output requirements are serialized by the task graph —
+/// concurrent calls never touch the same element.
+pub struct OutVals<'a> {
+    ptr: *mut f64,
+    len: usize,
+    _life: std::marker::PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: see the type docs — element-disjoint concurrent access is
+// enforced by the launch's dependence graph.
+unsafe impl Send for OutVals<'_> {}
+unsafe impl Sync for OutVals<'_> {}
+
+impl<'a> OutVals<'a> {
+    /// View an exclusively borrowed buffer.
+    pub fn new(buf: &'a mut [f64]) -> Self {
+        OutVals {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+            _life: std::marker::PhantomData,
+        }
+    }
+
+    /// View `len` elements starting at `ptr`.
+    ///
+    /// # Safety
+    /// `ptr..ptr+len` must stay valid for writes for `'a`, and no `&`/
+    /// `&mut` reference to those elements may be used while this view is
+    /// live. Concurrent holders must never access the same element.
+    pub unsafe fn from_raw(ptr: *mut f64, len: usize) -> Self {
+        OutVals {
+            ptr,
+            len,
+            _life: std::marker::PhantomData,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `out[i] += v`.
+    #[inline]
+    pub fn add(&self, i: usize, v: f64) {
+        assert!(
+            i < self.len,
+            "OutVals::add index {i} out of bounds ({})",
+            self.len
+        );
+        // SAFETY: bounds checked; element-disjointness per the type docs.
+        unsafe { *self.ptr.add(i) += v }
+    }
+
+    /// `out[i] = v`.
+    #[inline]
+    pub fn set(&self, i: usize, v: f64) {
+        assert!(
+            i < self.len,
+            "OutVals::set index {i} out of bounds ({})",
+            self.len
+        );
+        // SAFETY: bounds checked; element-disjointness per the type docs.
+        unsafe { *self.ptr.add(i) = v }
+    }
+
+    /// `out[start + j] += v * src[j]` for every `j` — the dense row update
+    /// of SpMM. One bounds check for the whole row keeps the inner loop as
+    /// cheap as the `&mut`-slice iteration it replaced.
+    #[inline]
+    pub fn add_scaled(&self, start: usize, v: f64, src: &[f64]) {
+        let end = start
+            .checked_add(src.len())
+            .expect("OutVals::add_scaled range overflow");
+        assert!(
+            end <= self.len,
+            "OutVals::add_scaled range {start}..{end} out of bounds ({})",
+            self.len
+        );
+        for (j, s) in src.iter().enumerate() {
+            // SAFETY: start + j < end <= len (checked above).
+            unsafe { *self.ptr.add(start + j) += v * s }
+        }
+    }
+
+    /// `out[start + j] += v * a[j] * b[j]` for every `j` — the factor-row
+    /// update of SpMTTKRP. Bounds checked once per row.
+    #[inline]
+    pub fn add_scaled_product(&self, start: usize, v: f64, a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len(), "OutVals::add_scaled_product row widths");
+        let end = start
+            .checked_add(a.len())
+            .expect("OutVals::add_scaled_product range overflow");
+        assert!(
+            end <= self.len,
+            "OutVals::add_scaled_product range {start}..{end} out of bounds ({})",
+            self.len
+        );
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            // SAFETY: start + j < end <= len (checked above).
+            unsafe { *self.ptr.add(start + j) += v * x * y }
+        }
+    }
+}
+
 /// The visitor callback of [`walk_partitioned`]:
 /// `f(coords, level_entries, value)`.
 pub type EntryVisitor<'a> = dyn FnMut(&[i64], &[usize], f64) + 'a;

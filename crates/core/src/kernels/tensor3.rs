@@ -6,7 +6,7 @@
 
 use spdistal_sparse::SpTensor;
 
-use super::walk_partitioned;
+use super::{walk_partitioned, OutVals};
 use crate::level_funcs::{entry_counts, TensorPartition};
 
 /// SpTTV for one color: `A(i,j) += B(i,j,k) * c(k)`.
@@ -19,12 +19,12 @@ pub fn spttv_color(
     part: &TensorPartition,
     color: usize,
     c: &[f64],
-    out_fiber_vals: &mut [f64],
+    out_fiber_vals: &OutVals,
 ) -> f64 {
     debug_assert_eq!(out_fiber_vals.len() as u64, entry_counts(b)[1]);
     let mut ops = 0u64;
     walk_partitioned(b, part, color, &mut |coords, entries, v| {
-        out_fiber_vals[entries[1]] += v * c[coords[2] as usize];
+        out_fiber_vals.add(entries[1], v * c[coords[2] as usize]);
         ops += 1;
     });
     ops as f64
@@ -39,17 +39,17 @@ pub fn spmttkrp_color(
     c: &[f64],
     d: &[f64],
     ldim: usize,
-    out: &mut [f64],
+    out: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
     walk_partitioned(b, part, color, &mut |coords, _, v| {
         let (i, j, k) = (coords[0] as usize, coords[1] as usize, coords[2] as usize);
-        let arow = &mut out[i * ldim..(i + 1) * ldim];
-        let crow = &c[j * ldim..(j + 1) * ldim];
-        let drow = &d[k * ldim..(k + 1) * ldim];
-        for l in 0..ldim {
-            arow[l] += v * crow[l] * drow[l];
-        }
+        out.add_scaled_product(
+            i * ldim,
+            v,
+            &c[j * ldim..(j + 1) * ldim],
+            &d[k * ldim..(k + 1) * ldim],
+        );
         ops += 2 * ldim as u64;
     });
     ops as f64
@@ -88,7 +88,7 @@ mod tests {
             );
             let mut fibers = vec![0.0; entry_counts(&b)[1] as usize];
             for col in 0..colors {
-                spttv_color(&b, &pu, col, &c, &mut fibers);
+                spttv_color(&b, &pu, col, &c, &OutVals::new(&mut fibers));
             }
             let got = to_dense(&spttv_output(&b, fibers));
             assert!(
@@ -99,7 +99,7 @@ mod tests {
             let pz = partition_tensor(&b, 2, nonzero_partition(&b, 2, colors));
             let mut fibers2 = vec![0.0; entry_counts(&b)[1] as usize];
             for col in 0..colors {
-                spttv_color(&b, &pz, col, &c, &mut fibers2);
+                spttv_color(&b, &pz, col, &c, &OutVals::new(&mut fibers2));
             }
             let got2 = to_dense(&spttv_output(&b, fibers2));
             assert!(
@@ -119,7 +119,7 @@ mod tests {
         let p = partition_tensor(&b, 0, universe_partition(&b, 0, &equal_coord_bounds(12, 3)));
         let mut out = vec![0.0; 12 * ldim];
         for col in 0..3 {
-            spmttkrp_color(&b, &p, col, &c, &d, ldim, &mut out);
+            spmttkrp_color(&b, &p, col, &c, &d, ldim, &OutVals::new(&mut out));
         }
         assert!(reference::approx_eq(&out, &expect, 1e-12));
     }
@@ -143,7 +143,7 @@ mod tests {
         let p = partition_tensor(&b, 2, nonzero_partition(&b, 2, 4));
         let mut out = vec![0.0; 6 * ldim];
         for col in 0..4 {
-            spmttkrp_color(&b, &p, col, &c, &d, ldim, &mut out);
+            spmttkrp_color(&b, &p, col, &c, &d, ldim, &OutVals::new(&mut out));
         }
         assert!(reference::approx_eq(&out, &expect, 1e-12));
     }

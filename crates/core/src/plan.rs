@@ -7,6 +7,22 @@
 //! sub-regions its color owns under the plan's partitions, so the runtime
 //! infers the same communication Legion would.
 //!
+//! ## Describe vs. run
+//!
+//! Execution is split into two phases so whole launches can be deferred and
+//! overlapped (the [`Session`](crate::session::Session) API):
+//!
+//! * **describe** — [`PreparedPlan::new`] resolves the plan against the
+//!   context's tensor table: per-point region requirements (the same
+//!   metadata the model phase will name) plus borrowed views of every
+//!   operand the leaf kernels need. Nothing has executed yet.
+//! * **run** — [`PreparedPlan::run_point`] executes one color's leaf kernel;
+//!   any dependence-respecting driver may call it, from the single-launch
+//!   path in [`execute`] to the multi-launch pipeline. [`PreparedPlan::
+//!   finish`] then folds the per-color results into the computed output,
+//!   and [`finish_model`] replays the launch against the discrete-event
+//!   simulator and writes the output back.
+//!
 //! ## Real parallel execution
 //!
 //! The compute phase runs the leaf kernels through the runtime's task
@@ -17,8 +33,9 @@
 //! the two modes bit-identical:
 //!
 //! * disjoint output partitions (`reduce == false`) write the shared
-//!   buffer in place — each element has exactly one writer, and any
-//!   conflicting pair the graph finds is serialized in color order;
+//!   buffer in place through the raw-pointer [`OutVals`] view — each
+//!   element has exactly one writer, no `&mut` aliases ever coexist, and
+//!   any conflicting pair the graph finds is serialized in color order;
 //! * aliased output partitions (`reduce == true`) give every color a
 //!   private partial, combined single-threaded in color order afterwards —
 //!   a deterministic floating-point sum regardless of scheduling;
@@ -28,11 +45,11 @@
 //! The simulator remains the cost model: [`ExecResult::time`] is simulated,
 //! [`ExecResult::wall_time`] is the measured compute-phase wall-clock.
 
-use std::cell::UnsafeCell;
 use std::sync::Mutex;
 
 use spdistal_ir::{interp, Bindings};
-use spdistal_runtime::sched::{ExecReport, Executor, TaskGraph};
+use spdistal_runtime::pipeline::{LaunchDesc, LaunchTiming, Pipeline};
+use spdistal_runtime::sched::ExecReport;
 use spdistal_runtime::{
     IntervalSet, LaunchRecord, Privilege, Rect1, RegionId, RegionReq, TaskSpec,
 };
@@ -40,8 +57,8 @@ use spdistal_sparse::{dense_vector, CooTensor, Level, SpTensor};
 
 use crate::codegen::{OutKind, Plan, PlannedInput};
 use crate::dist_tensor::{procs_for_color, Context, Error, LevelRegions, VAL_BYTES};
-use crate::kernels::{matrix, tensor3, LeafKernel};
-use crate::level_funcs::entry_counts;
+use crate::kernels::{matrix, tensor3, LeafKernel, OutVals};
+use crate::level_funcs::{entry_counts, TensorPartition};
 
 /// The computed value of a plan's output.
 #[derive(Clone, Debug)]
@@ -75,8 +92,16 @@ pub struct ExecResult {
     pub time: f64,
     /// Real wall-clock seconds the compute phase took under the selected
     /// [`ExecMode`](spdistal_runtime::sched::ExecMode) (reported
-    /// alongside, never folded into, `time`).
+    /// alongside, never folded into, `time`). For a pipelined execution
+    /// this is the plan's own active window (`drain - start` of its
+    /// launch), since the pool was shared with other launches.
     pub wall_time: f64,
+    /// Deferred-execution milestones of this plan's compute launch(es):
+    /// when each was issued, when its first point task started, and when
+    /// its last point task drained. A single launch-at-a-time execution
+    /// reports one entry; pipelined executions rebase all entries onto the
+    /// session's submission epoch so overlap is visible across results.
+    pub launches: Vec<LaunchTiming>,
     /// Bytes moved between memories during this execution.
     pub comm_bytes: u64,
     /// Messages sent during this execution.
@@ -85,14 +110,381 @@ pub struct ExecResult {
     pub ops: f64,
     /// Per-launch records.
     pub records: Vec<LaunchRecord>,
-    /// Compute-phase scheduler report (threads, steals, DAG shape).
+    /// Compute-phase scheduler report (threads, steals, DAG shape). For a
+    /// pipelined execution this is the report of the whole batch drain the
+    /// plan was part of.
     pub sched: ExecReport,
     pub output: OutputValue,
 }
 
-/// Execute `plan` within `ctx`. The lhs tensor's data is replaced by the
-/// computed output (so chained statements, e.g. CP-ALS sweeps, see it).
+/// Execute `plan` within `ctx`, launch-at-a-time. The lhs tensor's data is
+/// replaced by the computed output (so chained statements, e.g. CP-ALS
+/// sweeps, see it).
 pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
+    let mut prepared = PreparedPlan::new(ctx, plan, DAG_OUT_REGION)?;
+    let pipeline = Pipeline::new(vec![prepared.take_launch_desc()]);
+    let (report, timings) = pipeline.run(ctx.exec_mode(), |_, point| prepared.run_point(point));
+    let (computed, ops) = prepared.finish()?;
+    finish_model(ctx, plan, computed, ops, report, timings)
+}
+
+/// Synthetic region id standing in for the output region (created only
+/// after the compute phase sizes it) when deriving the compute DAG.
+pub(crate) const DAG_OUT_REGION: RegionId = RegionId(u32::MAX);
+
+/// One color's computed contribution, parked until [`PreparedPlan::finish`].
+enum PointResult {
+    /// Wrote the shared output in place; the modeled op count.
+    Ops(f64),
+    /// A reduction task's private partial.
+    Partial { ops: f64, vals: Vec<f64> },
+    /// SpAdd3's assembled private rows with (symbolic, numeric) op counts.
+    Rows {
+        rows: Vec<matrix::AddRow>,
+        sym: f64,
+        num: f64,
+    },
+    /// The interpreted fallback's dense result.
+    Interp(Vec<f64>),
+    /// The interpreted fallback failed.
+    Failed(String),
+}
+
+/// Kernel-specific borrowed operands of one prepared plan.
+enum Body<'a> {
+    SpMv {
+        c: &'a [f64],
+    },
+    SpMm {
+        c: &'a [f64],
+        jdim: usize,
+    },
+    Sddmm {
+        c: &'a [f64],
+        d: &'a [f64],
+        kdim: usize,
+        jdim: usize,
+    },
+    SpAdd3 {
+        c: &'a SpTensor,
+        d: &'a SpTensor,
+    },
+    SpTtv {
+        c: &'a [f64],
+    },
+    SpMttkrp {
+        c: &'a [f64],
+        d: &'a [f64],
+        ldim: usize,
+    },
+    Interp {
+        bindings: Bindings<'a>,
+        out_dims: Vec<usize>,
+    },
+}
+
+/// A dense output buffer shared in place by concurrently executing colors.
+/// Writers go through [`OutVals`] raw-pointer views derived once at
+/// construction, so no `&mut` alias of the allocation is ever live while
+/// tasks run; element-disjointness (or serialization) is enforced by the
+/// launch's dependence graph.
+struct SharedOut {
+    buf: Vec<f64>,
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: access discipline enforced by the task graph (see above).
+unsafe impl Sync for SharedOut {}
+unsafe impl Send for SharedOut {}
+
+impl SharedOut {
+    fn new(mut buf: Vec<f64>) -> Self {
+        let ptr = buf.as_mut_ptr();
+        let len = buf.len();
+        SharedOut { buf, ptr, len }
+    }
+
+    /// A writer view for one task.
+    fn writer(&self) -> OutVals<'_> {
+        // SAFETY: the heap allocation is stable and unaliased by `&mut`
+        // references for the view's lifetime; concurrent element
+        // disjointness is the dependence graph's contract.
+        unsafe { OutVals::from_raw(self.ptr, self.len) }
+    }
+
+    fn into_vec(self) -> Vec<f64> {
+        self.buf
+    }
+}
+
+/// A plan resolved against the context — the **describe** half of
+/// execution. Holds everything the compute phase needs (borrowed operand
+/// views, per-point region requirements, result slots) so any driver that
+/// honors the requirements' dependence structure can run the points.
+pub(crate) struct PreparedPlan<'a> {
+    plan: &'a Plan,
+    driver: &'a SpTensor,
+    part: &'a TensorPartition,
+    point_reqs: Vec<Vec<RegionReq>>,
+    body: Body<'a>,
+    out_len: usize,
+    shared: Option<SharedOut>,
+    slots: Vec<Mutex<Option<PointResult>>>,
+}
+
+impl<'a> PreparedPlan<'a> {
+    /// Resolve `plan` against `ctx`. `out_region` is the synthetic region
+    /// id standing in for the (not yet created) output region in the
+    /// compute-phase requirements; drivers coordinating several plans give
+    /// each a distinct id.
+    pub(crate) fn new(
+        ctx: &'a Context,
+        plan: &'a Plan,
+        out_region: RegionId,
+    ) -> Result<Self, Error> {
+        let accesses = plan.stmt.rhs.accesses();
+        let data = |name: &str| ctx.tensor(name).map(|t| &t.data);
+        let driver = data(&plan.driver)?;
+        let part = &plan
+            .inputs
+            .iter()
+            .find(|i| i.tensor == plan.driver)
+            .unwrap()
+            .part;
+
+        let (body, out_len) = match &plan.kernel {
+            LeafKernel::SpMv => (
+                Body::SpMv {
+                    c: data(&accesses[1].tensor)?.vals(),
+                },
+                driver.dims()[0],
+            ),
+            LeafKernel::SpMm { jdim } => (
+                Body::SpMm {
+                    c: data(&accesses[1].tensor)?.vals(),
+                    jdim: *jdim,
+                },
+                driver.dims()[0] * jdim,
+            ),
+            LeafKernel::Sddmm { kdim } => (
+                Body::Sddmm {
+                    c: data(&accesses[1].tensor)?.vals(),
+                    d: data(&accesses[2].tensor)?.vals(),
+                    kdim: *kdim,
+                    jdim: driver.dims()[1],
+                },
+                driver.num_stored(),
+            ),
+            LeafKernel::SpAdd3 => (
+                Body::SpAdd3 {
+                    c: data(&accesses[1].tensor)?,
+                    d: data(&accesses[2].tensor)?,
+                },
+                0,
+            ),
+            LeafKernel::SpTtv => (
+                Body::SpTtv {
+                    c: data(&accesses[1].tensor)?.vals(),
+                },
+                entry_counts(driver)[1] as usize,
+            ),
+            LeafKernel::SpMttkrp { ldim } => (
+                Body::SpMttkrp {
+                    c: data(&accesses[1].tensor)?.vals(),
+                    d: data(&accesses[2].tensor)?.vals(),
+                    ldim: *ldim,
+                },
+                driver.dims()[0] * ldim,
+            ),
+            LeafKernel::Generic => {
+                let mut bindings = Bindings::new();
+                for name in plan.stmt.tensor_names() {
+                    if name != plan.output.tensor {
+                        bindings = bindings.bind(&name, &ctx.tensor(&name)?.data);
+                    }
+                }
+                let out_dims = ctx.tensor(&plan.output.tensor)?.data.dims().to_vec();
+                (Body::Interp { bindings, out_dims }, 0)
+            }
+        };
+
+        // The interpreted fallback is one global evaluation: a single point
+        // task claiming every color's requirements.
+        let per_color = dag_reqs(ctx, plan, out_region)?;
+        let point_reqs = if matches!(body, Body::Interp { .. }) {
+            vec![per_color.into_iter().flatten().collect()]
+        } else {
+            per_color
+        };
+
+        let shared = match &plan.kernel {
+            LeafKernel::SpAdd3 | LeafKernel::Generic => None,
+            _ if plan.output.reduce => None,
+            _ => Some(SharedOut::new(vec![0.0; out_len])),
+        };
+
+        let slots = (0..point_reqs.len()).map(|_| Mutex::new(None)).collect();
+        Ok(PreparedPlan {
+            plan,
+            driver,
+            part,
+            point_reqs,
+            body,
+            out_len,
+            shared,
+            slots,
+        })
+    }
+
+    /// The launch descriptor of this plan's compute phase. Hands the point
+    /// requirements over to the pipeline (they have no further use here),
+    /// so building a pipeline never deep-copies requirement sets.
+    pub(crate) fn take_launch_desc(&mut self) -> LaunchDesc {
+        LaunchDesc::new(self.plan.name.clone(), std::mem::take(&mut self.point_reqs))
+    }
+
+    /// Run one point task. Must be called exactly once per point, under a
+    /// driver that serializes the conflicting pairs named by
+    /// [`Self::launch_desc`]'s requirements.
+    pub(crate) fn run_point(&self, point: usize) {
+        let result = match &self.body {
+            Body::SpMv { c } => {
+                self.dense_point(|out| matrix::spmv_color(self.driver, self.part, point, c, out))
+            }
+            Body::SpMm { c, jdim } => self.dense_point(|out| {
+                matrix::spmm_color(self.driver, self.part, point, c, *jdim, out)
+            }),
+            Body::Sddmm { c, d, kdim, jdim } => self.dense_point(|out| {
+                matrix::sddmm_color(self.driver, self.part, point, c, d, *kdim, *jdim, out)
+            }),
+            Body::SpTtv { c } => {
+                self.dense_point(|out| tensor3::spttv_color(self.driver, self.part, point, c, out))
+            }
+            Body::SpMttkrp { c, d, ldim } => self.dense_point(|out| {
+                tensor3::spmttkrp_color(self.driver, self.part, point, c, d, *ldim, out)
+            }),
+            Body::SpAdd3 { c, d } => {
+                let (rows, sym, num) = matrix::spadd3_color(self.driver, c, d, self.part, point);
+                PointResult::Rows { rows, sym, num }
+            }
+            Body::Interp { bindings, out_dims } => {
+                match interp::evaluate(&self.plan.stmt, bindings) {
+                    Ok(result) => PointResult::Interp(interp::result_to_dense(&result, out_dims)),
+                    Err(e) => PointResult::Failed(format!("interp: {e}")),
+                }
+            }
+        };
+        *self.slots[point].lock().unwrap() = Some(result);
+    }
+
+    fn dense_point(&self, kernel: impl FnOnce(&OutVals) -> f64) -> PointResult {
+        match &self.shared {
+            Some(shared) => PointResult::Ops(kernel(&shared.writer())),
+            None => {
+                let mut partial = vec![0.0; self.out_len];
+                let ops = kernel(&OutVals::new(&mut partial));
+                PointResult::Partial { ops, vals: partial }
+            }
+        }
+    }
+
+    /// Fold the per-point results into the computed output and the
+    /// per-color modeled op counts. Call after every point ran.
+    pub(crate) fn finish(self) -> Result<(Computed, Vec<f64>), Error> {
+        let results: Vec<PointResult> = self
+            .slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("point task did not run"))
+            .collect();
+        let colors = self.plan.colors;
+        match self.plan.kernel {
+            LeafKernel::SpAdd3 => {
+                let mut ops = vec![0.0; colors];
+                let mut all_rows = Vec::new();
+                let mut per_color_nnz = Vec::with_capacity(colors);
+                let mut symbolic_ops = Vec::with_capacity(colors);
+                let mut numeric_ops = Vec::with_capacity(colors);
+                for (col, r) in results.into_iter().enumerate() {
+                    let PointResult::Rows { rows, sym, num } = r else {
+                        unreachable!("SpAdd3 point result shape");
+                    };
+                    per_color_nnz.push(rows.iter().map(|r| r.cols.len()).sum());
+                    symbolic_ops.push(sym);
+                    numeric_ops.push(num);
+                    ops[col] = sym + num;
+                    all_rows.extend(rows);
+                }
+                let total_nnz = per_color_nnz.iter().sum();
+                Ok((
+                    Computed::Assembled {
+                        rows: all_rows,
+                        per_color_nnz,
+                        total_nnz,
+                        symbolic_ops,
+                        numeric_ops,
+                    },
+                    ops,
+                ))
+            }
+            LeafKernel::Generic => {
+                let [result] = <[PointResult; 1]>::try_from(results)
+                    .map_err(|_| Error::Unsupported("generic point count".into()))?;
+                let dense = match result {
+                    PointResult::Interp(v) => v,
+                    PointResult::Failed(e) => return Err(Error::Unsupported(e)),
+                    _ => unreachable!("generic point result shape"),
+                };
+                let mut ops = vec![0.0; colors];
+                for (col, op) in ops.iter_mut().enumerate() {
+                    *op = self.part.vals.subset(col).total_len() as f64;
+                }
+                Ok((Computed::Dense(dense), ops))
+            }
+            _ => {
+                let mut ops = vec![0.0; colors];
+                let buf = if let Some(shared) = self.shared {
+                    for (col, r) in results.into_iter().enumerate() {
+                        let PointResult::Ops(o) = r else {
+                            unreachable!("in-place point result shape");
+                        };
+                        ops[col] = o;
+                    }
+                    shared.into_vec()
+                } else {
+                    // Reduction: combine private partials in color order.
+                    let mut out = vec![0.0; self.out_len];
+                    for (col, r) in results.into_iter().enumerate() {
+                        let PointResult::Partial { ops: o, vals } = r else {
+                            unreachable!("reduce point result shape");
+                        };
+                        ops[col] = o;
+                        for (dst, src) in out.iter_mut().zip(&vals) {
+                            *dst += src;
+                        }
+                    }
+                    out
+                };
+                let computed = match self.plan.kernel {
+                    LeafKernel::Sddmm { .. } | LeafKernel::SpTtv => Computed::PatternVals(buf),
+                    _ => Computed::Dense(buf),
+                };
+                Ok((computed, ops))
+            }
+        }
+    }
+}
+
+/// The model phase: replay the launch(es) against the discrete-event
+/// simulator, materialize the output, and write it back into the context.
+pub(crate) fn finish_model(
+    ctx: &mut Context,
+    plan: &Plan,
+    computed: Computed,
+    ops: Vec<f64>,
+    sched: ExecReport,
+    launches: Vec<LaunchTiming>,
+) -> Result<ExecResult, Error> {
     let time0 = ctx.runtime().now();
     let stats0 = (
         ctx.runtime().stats().comm_bytes,
@@ -101,13 +493,6 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
         ctx.runtime().stats().records.len(),
     );
 
-    // --- compute phase (real kernels on shared-memory data) -------------
-    // Dependence DAG over the same region requirements the model phase
-    // will name; the executor honors it in both serial and parallel mode.
-    let graph = TaskGraph::from_reqs(&dag_reqs(ctx, plan)?);
-    let (computed, ops, sched) = compute(ctx, plan, &graph)?;
-
-    // --- model phase (region requirements + index launch) ---------------
     let out_len = match &computed {
         Computed::Dense(v) => v.len() as u64,
         Computed::PatternVals(v) => v.len() as u64,
@@ -211,10 +596,12 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
         }
     }
 
+    let wall_time = plan_wall_time(&sched, &launches);
     let stats = ctx.runtime().stats();
     Ok(ExecResult {
         time: ctx.runtime().now() - time0,
-        wall_time: sched.wall_seconds,
+        wall_time,
+        launches,
         comm_bytes: stats.comm_bytes - stats0.0,
         messages: stats.messages - stats0.1,
         ops: stats.total_ops - stats0.2,
@@ -224,16 +611,32 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
     })
 }
 
-/// Synthetic region id standing in for the output region (created only
-/// after the compute phase sizes it) when deriving the compute DAG.
-const DAG_OUT_REGION: RegionId = RegionId(u32::MAX);
+/// The compute wall-clock attributed to one plan: its launches' active
+/// window when per-launch milestones are present, else the whole drain.
+fn plan_wall_time(sched: &ExecReport, launches: &[LaunchTiming]) -> f64 {
+    if launches.is_empty() {
+        return sched.wall_seconds;
+    }
+    let start = launches
+        .iter()
+        .map(|l| l.start)
+        .fold(f64::INFINITY, f64::min);
+    let drain = launches.iter().map(|l| l.drain).fold(0.0, f64::max);
+    (drain - start).max(0.0)
+}
 
 /// The per-color region requirement sets of the launch, as seen by the
 /// compute-phase dependence analysis: every input the color reads, plus its
 /// output subset under the plan's output partition. Inputs are `Read`
 /// (commuting); outputs carry the launch's write-or-reduce privilege, so
 /// aliased writers serialize in color order and reductions commute.
-fn dag_reqs(ctx: &Context, plan: &Plan) -> Result<Vec<Vec<RegionReq>>, Error> {
+/// `out_region` is the caller's synthetic stand-in for the output region
+/// (created only after the compute phase sizes it).
+fn dag_reqs(
+    ctx: &Context,
+    plan: &Plan,
+    out_region: RegionId,
+) -> Result<Vec<Vec<RegionReq>>, Error> {
     let out_priv = if plan.output.reduce {
         Privilege::Reduce
     } else {
@@ -256,7 +659,7 @@ fn dag_reqs(ctx: &Context, plan: &Plan) -> Result<Vec<Vec<RegionReq>>, Error> {
         };
         if !out_subset.is_empty() {
             reqs.push(RegionReq {
-                region: DAG_OUT_REGION,
+                region: out_region,
                 subset: out_subset,
                 privilege: out_priv,
             });
@@ -264,6 +667,42 @@ fn dag_reqs(ctx: &Context, plan: &Plan) -> Result<Vec<Vec<RegionReq>>, Error> {
         all.push(reqs);
     }
     Ok(all)
+}
+
+/// Launch-granularity requirements on the *real* regions of the plan's
+/// output tensor — the write-back every execution performs after its
+/// compute phase. These never enter the intra-launch point requirements
+/// (the compute phase writes private/synthetic buffers); they exist so a
+/// pipeline of several plans serializes any later launch that touches this
+/// tensor behind this one (WAW/WAR at launch granularity).
+pub(crate) fn writeback_reqs(ctx: &Context, plan: &Plan) -> Result<Vec<RegionReq>, Error> {
+    let t = ctx.tensor(&plan.output.tensor)?;
+    let full = |len: usize| -> Option<IntervalSet> {
+        (len > 0).then(|| IntervalSet::from_rect(Rect1::new(0, len as i64 - 1)))
+    };
+    let mut reqs = Vec::new();
+    let mut push = |region: RegionId, len: usize| {
+        if let Some(subset) = full(len) {
+            reqs.push(RegionReq::write(region, subset));
+        }
+    };
+    let mut parent_entries = 1usize;
+    for (k, lr) in t.regions.levels.iter().enumerate() {
+        let level = t.data.level(k);
+        match lr {
+            LevelRegions::Compressed { pos, crd } => {
+                push(*pos, parent_entries);
+                push(*crd, level.num_entries(parent_entries));
+            }
+            LevelRegions::Singleton { crd } => {
+                push(*crd, level.num_entries(parent_entries));
+            }
+            LevelRegions::Dense => {}
+        }
+        parent_entries = level.num_entries(parent_entries);
+    }
+    push(t.regions.vals, t.data.num_stored());
+    Ok(reqs)
 }
 
 /// Region requirements for one input tensor under its planned partition.
@@ -313,7 +752,7 @@ fn scale_set(s: &IntervalSet, width: usize) -> IntervalSet {
     )
 }
 
-enum Computed {
+pub(crate) enum Computed {
     Dense(Vec<f64>),
     PatternVals(Vec<f64>),
     Assembled {
@@ -323,226 +762,6 @@ enum Computed {
         symbolic_ops: Vec<f64>,
         numeric_ops: Vec<f64>,
     },
-}
-
-/// A shared output buffer that concurrently executing colors write in
-/// place. Soundness is delegated to the dependence graph: colors whose
-/// output requirements overlap with a non-commuting privilege are
-/// serialized by the executor, and the remaining writers touch disjoint
-/// elements by construction of a non-reducing output partition.
-struct SharedVals(UnsafeCell<Vec<f64>>);
-
-// SAFETY: access discipline enforced by the task graph (see above).
-unsafe impl Sync for SharedVals {}
-
-impl SharedVals {
-    fn new(v: Vec<f64>) -> Self {
-        SharedVals(UnsafeCell::new(v))
-    }
-
-    /// # Safety
-    /// Concurrent holders must never touch the same element; plan
-    /// execution guarantees this via the launch's dependence graph, so no
-    /// byte is ever accessed by two tasks at once (no data race exists at
-    /// the machine level, and the LLVM `noalias` contract is only
-    /// observable through conflicting accesses, which the graph excludes).
-    ///
-    /// Known caveat: concurrently live `&mut [f64]` views over the same
-    /// allocation are still aliasing-model UB (Miri flags this) even with
-    /// element-disjoint access. Full soundness needs the leaf kernels to
-    /// write through a cell/raw-pointer output view instead of `&mut
-    /// [f64]` — tracked as a ROADMAP open item; the exposure is confined
-    /// to this adapter.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn slice_mut(&self) -> &mut [f64] {
-        &mut *self.0.get()
-    }
-
-    fn into_inner(self) -> Vec<f64> {
-        self.0.into_inner()
-    }
-}
-
-/// Run `body` once per color through the dependence-driven executor and
-/// collect each color's private result in color order.
-fn run_colors<R: Send>(
-    ctx: &Context,
-    colors: usize,
-    graph: &TaskGraph,
-    body: impl Fn(usize) -> R + Sync,
-) -> (Vec<R>, ExecReport) {
-    let slots: Vec<Mutex<Option<R>>> = (0..colors).map(|_| Mutex::new(None)).collect();
-    let report = Executor::new(ctx.exec_mode()).run(graph, |col| {
-        *slots[col].lock().unwrap() = Some(body(col));
-    });
-    let results = slots
-        .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("color task did not run"))
-        .collect();
-    (results, report)
-}
-
-/// Execute a dense-buffer kernel (`kernel(color, out) -> ops`) over all
-/// colors. Disjoint output partitions write the shared buffer in place;
-/// aliased ones (`reduce`) accumulate private partials combined in color
-/// order — both deterministic, so serial and parallel modes agree bitwise.
-fn dense_out(
-    ctx: &Context,
-    plan: &Plan,
-    graph: &TaskGraph,
-    len: usize,
-    kernel: impl Fn(usize, &mut [f64]) -> f64 + Sync,
-) -> (Vec<f64>, Vec<f64>, ExecReport) {
-    if plan.output.reduce {
-        let (partials, report) = run_colors(ctx, plan.colors, graph, |col| {
-            let mut partial = vec![0.0; len];
-            let ops = kernel(col, &mut partial);
-            (ops, partial)
-        });
-        let mut out = vec![0.0; len];
-        let mut ops = vec![0.0; plan.colors];
-        for (col, (col_ops, partial)) in partials.into_iter().enumerate() {
-            ops[col] = col_ops;
-            for (dst, src) in out.iter_mut().zip(&partial) {
-                *dst += src;
-            }
-        }
-        (out, ops, report)
-    } else {
-        let shared = SharedVals::new(vec![0.0; len]);
-        let (ops, report) = run_colors(ctx, plan.colors, graph, |col| {
-            // SAFETY: see `SharedVals` — disjoint writes, or serialized by
-            // the dependence graph when they are not.
-            kernel(col, unsafe { shared.slice_mut() })
-        });
-        (shared.into_inner(), ops, report)
-    }
-}
-
-/// Run the leaf kernels for every color through the task scheduler,
-/// returning the computed output, per-color operation counts, and the
-/// executor's report.
-fn compute(
-    ctx: &Context,
-    plan: &Plan,
-    graph: &TaskGraph,
-) -> Result<(Computed, Vec<f64>, ExecReport), Error> {
-    let accesses = plan.stmt.rhs.accesses();
-    let data = |name: &str| ctx.tensor(name).map(|t| &t.data);
-    let driver = data(&plan.driver)?;
-    let part = &plan
-        .inputs
-        .iter()
-        .find(|i| i.tensor == plan.driver)
-        .unwrap()
-        .part;
-
-    let (computed, ops, report) = match &plan.kernel {
-        LeafKernel::SpMv => {
-            let c = data(&accesses[1].tensor)?.vals();
-            let (out, ops, report) = dense_out(ctx, plan, graph, driver.dims()[0], |col, out| {
-                matrix::spmv_color(driver, part, col, c, out)
-            });
-            (Computed::Dense(out), ops, report)
-        }
-        LeafKernel::SpMm { jdim } => {
-            let c = data(&accesses[1].tensor)?.vals();
-            let (out, ops, report) =
-                dense_out(ctx, plan, graph, driver.dims()[0] * jdim, |col, out| {
-                    matrix::spmm_color(driver, part, col, c, *jdim, out)
-                });
-            (Computed::Dense(out), ops, report)
-        }
-        LeafKernel::Sddmm { kdim } => {
-            let c = data(&accesses[1].tensor)?.vals();
-            let d = data(&accesses[2].tensor)?.vals();
-            let jdim = driver.dims()[1];
-            let (vals, ops, report) =
-                dense_out(ctx, plan, graph, driver.num_stored(), |col, out| {
-                    matrix::sddmm_color(driver, part, col, c, d, *kdim, jdim, out)
-                });
-            (Computed::PatternVals(vals), ops, report)
-        }
-        LeafKernel::SpAdd3 => {
-            let c = data(&accesses[1].tensor)?;
-            let d = data(&accesses[2].tensor)?;
-            // Every color assembles private rows; concatenation in color
-            // order reproduces the serial assembly exactly.
-            let (per_color, report) = run_colors(ctx, plan.colors, graph, |col| {
-                matrix::spadd3_color(driver, c, d, part, col)
-            });
-            let mut ops = vec![0.0; plan.colors];
-            let mut all_rows = Vec::new();
-            let mut per_color_nnz = Vec::with_capacity(plan.colors);
-            let mut symbolic_ops = Vec::with_capacity(plan.colors);
-            let mut numeric_ops = Vec::with_capacity(plan.colors);
-            for (col, (rows, sym, num)) in per_color.into_iter().enumerate() {
-                per_color_nnz.push(rows.iter().map(|r| r.cols.len()).sum());
-                symbolic_ops.push(sym);
-                numeric_ops.push(num);
-                ops[col] = sym + num;
-                all_rows.extend(rows);
-            }
-            let total_nnz = per_color_nnz.iter().sum();
-            (
-                Computed::Assembled {
-                    rows: all_rows,
-                    per_color_nnz,
-                    total_nnz,
-                    symbolic_ops,
-                    numeric_ops,
-                },
-                ops,
-                report,
-            )
-        }
-        LeafKernel::SpTtv => {
-            let c = data(&accesses[1].tensor)?.vals();
-            let len = entry_counts(driver)[1] as usize;
-            let (fibers, ops, report) = dense_out(ctx, plan, graph, len, |col, out| {
-                tensor3::spttv_color(driver, part, col, c, out)
-            });
-            (Computed::PatternVals(fibers), ops, report)
-        }
-        LeafKernel::SpMttkrp { ldim } => {
-            let c = data(&accesses[1].tensor)?.vals();
-            let d = data(&accesses[2].tensor)?.vals();
-            let (out, ops, report) =
-                dense_out(ctx, plan, graph, driver.dims()[0] * ldim, |col, out| {
-                    tensor3::spmttkrp_color(driver, part, col, c, d, *ldim, out)
-                });
-            (Computed::Dense(out), ops, report)
-        }
-        LeafKernel::Generic => {
-            // Interpreted fallback: one global evaluation (a single task),
-            // with modeled work split by the driver's values partition.
-            let mut bindings = Bindings::new();
-            for name in plan.stmt.tensor_names() {
-                if name != plan.output.tensor {
-                    bindings = bindings.bind(&name.clone(), &ctx.tensor(&name)?.data);
-                }
-            }
-            let t0 = std::time::Instant::now();
-            let result = interp::evaluate(&plan.stmt, &bindings)
-                .map_err(|e| Error::Unsupported(format!("interp: {e}")))?;
-            let report = ExecReport {
-                wall_seconds: t0.elapsed().as_secs_f64(),
-                tasks: 1,
-                edges: 0,
-                critical_path: 1,
-                threads: 1,
-                steals: 0,
-            };
-            let out_t = data(&plan.output.tensor)?;
-            let dense = interp::result_to_dense(&result, out_t.dims());
-            let mut ops = vec![0.0; plan.colors];
-            for (col, op) in ops.iter_mut().enumerate() {
-                *op = part.vals.subset(col).total_len() as f64;
-            }
-            (Computed::Dense(dense), ops, report)
-        }
-    };
-    Ok((computed, ops, report))
 }
 
 /// Turn the computed buffers into the plan's output value.

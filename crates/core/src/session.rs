@@ -1,0 +1,399 @@
+//! Deferred execution: the `Session`/`TensorFuture` API.
+//!
+//! Legion programs *issue* work and let the runtime overlap everything no
+//! data dependence orders — the deferred-execution model SpDISTAL inherits
+//! its distributed performance from. A [`Session`] brings that model to
+//! plan execution: [`Session::submit`] queues a compiled [`Plan`] and
+//! returns a [`TensorFuture`] immediately; nothing executes until a future
+//! is forced ([`Session::wait`]/[`Session::value`]), the session is
+//! flushed, or the context's tensor data is touched.
+//!
+//! At flush time the queue is cut into **batches**: the longest prefix of
+//! plans none of which *reads* a tensor an earlier plan in the same prefix
+//! writes. Within a batch every compute phase runs from pre-batch tensor
+//! state (true flow dependences only exist *between* batches), so the
+//! whole batch is described up front and drained through the runtime's
+//! [`Pipeline`] in one work-stealing pass — point tasks of independent
+//! launches interleave, and any WAW/WAR pairs the whole-launch summaries
+//! expose serialize in issue order. Model phases and write-backs then
+//! replay sequentially in issue order, exactly as launch-at-a-time
+//! execution would, so:
+//!
+//! * outputs are **bit-identical** to [`ExecMode::Serial`]
+//!   launch-at-a-time execution, and
+//! * simulated time ([`ExecResult::time`]) is completely unaffected by
+//!   pipelining — only real wall-clock moves.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::time::Instant;
+
+use spdistal_runtime::pipeline::{LaunchTiming, Pipeline};
+use spdistal_runtime::sched::ExecMode;
+use spdistal_runtime::RegionId;
+use spdistal_sparse::SpTensor;
+
+use crate::codegen::Plan;
+use crate::dist_tensor::{Context, Error};
+use crate::plan::{finish_model, writeback_reqs, ExecResult, OutputValue, PreparedPlan};
+
+/// A handle to the (possibly not yet computed) result of one submitted
+/// plan. Force it with [`Session::wait`] or [`Session::value`].
+#[derive(Clone, Copy, Debug)]
+pub struct TensorFuture {
+    ticket: usize,
+}
+
+impl TensorFuture {
+    /// Position of this future's plan in the session's submission order.
+    pub fn ticket(&self) -> usize {
+        self.ticket
+    }
+}
+
+/// What one [`Session::flush`] did.
+#[derive(Clone, Debug, Default)]
+pub struct FlushReport {
+    /// Pipelined batches the queue was cut into (dependence cuts only:
+    /// one batch unless a queued plan reads an earlier queued plan's
+    /// output).
+    pub batches: usize,
+    /// Real wall-clock seconds spent draining compute batches (summed
+    /// over batches; batches themselves never overlap).
+    pub wall_seconds: f64,
+    /// Point tasks executed across all batches.
+    pub tasks: usize,
+    /// Work-stealing steals across all batches.
+    pub steals: usize,
+    /// Worker threads used (max over batches).
+    pub threads: usize,
+    /// Per-launch issue/start/drain milestones, rebased onto the
+    /// session's epoch so overlap across launches is directly readable.
+    pub launches: Vec<LaunchTiming>,
+}
+
+enum Slot {
+    Pending,
+    Done(ExecResult),
+    Aborted(String),
+}
+
+struct Queued {
+    ticket: usize,
+    plan: Plan,
+    issued: Instant,
+}
+
+/// A deferred-execution context wrapper. See the module docs.
+pub struct Session<'c> {
+    ctx: &'c mut Context,
+    epoch: Instant,
+    queue: VecDeque<Queued>,
+    slots: Vec<Slot>,
+}
+
+impl<'c> Session<'c> {
+    pub fn new(ctx: &'c mut Context) -> Self {
+        Session {
+            ctx,
+            epoch: Instant::now(),
+            queue: VecDeque::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Read-only view of the underlying context (always consistent: reads
+    /// of tensor *data* should go through [`Session::wait`]/
+    /// [`Session::tensor_data_mut`], which flush pending work first).
+    pub fn context(&self) -> &Context {
+        self.ctx
+    }
+
+    /// Plans queued but not yet executed.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Select how flushed batches execute (delegates to the context).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.ctx.set_exec_mode(mode);
+    }
+
+    /// Queue `plan` for deferred execution and return its future. The plan
+    /// is captured by value: later schedule or context changes do not
+    /// affect it (tensor *data* changes do — they force a flush first).
+    pub fn submit(&mut self, plan: &Plan) -> TensorFuture {
+        let ticket = self.slots.len();
+        self.slots.push(Slot::Pending);
+        self.queue.push_back(Queued {
+            ticket,
+            plan: plan.clone(),
+            issued: Instant::now(),
+        });
+        TensorFuture { ticket }
+    }
+
+    /// Force everything queued. Batches of mutually flow-independent plans
+    /// drain through the pipelined executor; dependent plans start a new
+    /// batch after their producers' write-backs landed.
+    pub fn flush(&mut self) -> Result<FlushReport, Error> {
+        let mut report = FlushReport::default();
+        while !self.queue.is_empty() {
+            let n = self.next_batch_len();
+            let batch: Vec<Queued> = self.queue.drain(..n).collect();
+            if let Err(e) = self.run_batch(&batch, &mut report) {
+                // Poison everything that never completed, drop the queue.
+                let msg = e.to_string();
+                for q in batch.iter().chain(self.queue.iter()) {
+                    if matches!(self.slots[q.ticket], Slot::Pending) {
+                        self.slots[q.ticket] = Slot::Aborted(msg.clone());
+                    }
+                }
+                self.queue.clear();
+                return Err(e);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Force (at most) everything queued, then return the future's result.
+    pub fn wait(&mut self, future: &TensorFuture) -> Result<&ExecResult, Error> {
+        if matches!(self.slots.get(future.ticket), Some(Slot::Pending)) {
+            self.flush()?;
+        }
+        match &self.slots[future.ticket] {
+            Slot::Done(result) => Ok(result),
+            Slot::Aborted(msg) => Err(Error::Aborted(msg.clone())),
+            Slot::Pending => unreachable!("flushed future still pending"),
+        }
+    }
+
+    /// Force the future and clone its output value.
+    pub fn value(&mut self, future: &TensorFuture) -> Result<OutputValue, Error> {
+        self.wait(future).map(|r| r.output.clone())
+    }
+
+    /// Mutable access to a tensor's values. Flushes first, so the data a
+    /// caller overwrites (or reads) reflects every submitted plan — the
+    /// deferred queue can never observe out-of-order mutation.
+    pub fn tensor_data_mut(&mut self, name: &str) -> Result<&mut SpTensor, Error> {
+        self.flush()?;
+        self.ctx.tensor_data_mut(name)
+    }
+
+    /// Flush and dissolve the session explicitly (dropping flushes too,
+    /// but swallows errors).
+    pub fn finish(mut self) -> Result<FlushReport, Error> {
+        self.flush()
+    }
+
+    /// The longest flow-independent prefix of the queue: stop before the
+    /// first plan that reads a tensor an earlier prefix member writes
+    /// (its compute must see that write-back). WAW/WAR pairs stay in one
+    /// batch — computes read only pre-batch state, write-backs replay in
+    /// issue order, and the launch summaries serialize their launches.
+    fn next_batch_len(&self) -> usize {
+        let mut outputs: BTreeSet<&str> = BTreeSet::new();
+        let mut n = 0;
+        for q in &self.queue {
+            if q.plan
+                .inputs
+                .iter()
+                .any(|i| outputs.contains(i.tensor.as_str()))
+            {
+                break;
+            }
+            outputs.insert(q.plan.output.tensor.as_str());
+            n += 1;
+        }
+        n.max(1)
+    }
+
+    /// Describe every plan of the batch, drain all their point tasks in
+    /// one pipelined pass, then replay model phases and write-backs in
+    /// issue order.
+    fn run_batch(&mut self, batch: &[Queued], report: &mut FlushReport) -> Result<(), Error> {
+        let mode = self.ctx.exec_mode();
+        let batch_t0 = Instant::now();
+        let (exec_report, timings, finished) = {
+            let ctx: &Context = self.ctx;
+            let mut prepared = Vec::with_capacity(batch.len());
+            let mut launches = Vec::with_capacity(batch.len());
+            for (k, q) in batch.iter().enumerate() {
+                // Distinct synthetic output region per plan, counting down
+                // from the top of the id space (real ids count up from 0).
+                let out_region = RegionId(u32::MAX - k as u32);
+                let mut p = PreparedPlan::new(ctx, &q.plan, out_region)?;
+                launches.push(
+                    p.take_launch_desc()
+                        .with_extra_reqs(writeback_reqs(ctx, &q.plan)?),
+                );
+                prepared.push(p);
+            }
+            let pipeline = Pipeline::new(launches);
+            let (exec_report, timings) =
+                pipeline.run(mode, |launch, point| prepared[launch].run_point(point));
+            let finished = prepared
+                .into_iter()
+                .map(PreparedPlan::finish)
+                .collect::<Result<Vec<_>, Error>>()?;
+            (exec_report, timings, finished)
+        };
+
+        // Rebase the driver-relative milestones onto the session epoch and
+        // fill in the real issue instants.
+        let run_offset = batch_t0.duration_since(self.epoch).as_secs_f64();
+        let timings: Vec<LaunchTiming> = timings
+            .into_iter()
+            .zip(batch)
+            .map(|(t, q)| LaunchTiming {
+                name: t.name,
+                issue: q.issued.duration_since(self.epoch).as_secs_f64(),
+                start: run_offset + t.start,
+                drain: run_offset + t.drain,
+            })
+            .collect();
+
+        for ((q, (computed, ops)), timing) in
+            batch.iter().zip(finished).zip(timings.iter().cloned())
+        {
+            let result = finish_model(self.ctx, &q.plan, computed, ops, exec_report, vec![timing])?;
+            self.slots[q.ticket] = Slot::Done(result);
+        }
+
+        report.batches += 1;
+        report.wall_seconds += exec_report.wall_seconds;
+        report.tasks += exec_report.tasks;
+        report.steals += exec_report.steals;
+        report.threads = report.threads.max(exec_report.threads);
+        report.launches.extend(timings);
+        Ok(())
+    }
+}
+
+impl Drop for Session<'_> {
+    /// Write-backs are side effects later code may rely on; flush them even
+    /// if the user never forced a future. Errors are swallowed here — call
+    /// [`Session::finish`] to observe them.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{access, assign, schedule_outer_dim};
+    use spdistal_ir::{Format, ParallelUnit};
+    use spdistal_runtime::{Machine, MachineProfile};
+    use spdistal_sparse::{dense_vector, generate, reference};
+
+    const PIECES: usize = 4;
+
+    /// A context with `B` (CSR), `x` (replicated input vector), and two
+    /// output vectors `y`, `z`.
+    fn spmv_ctx() -> (Context, SpTensor, Vec<f64>) {
+        let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
+        let b = generate::rmat_default(7, 900, 3);
+        let n = b.dims()[0];
+        let x = generate::dense_vec(n, 4);
+        ctx.add_tensor("B", b.clone(), Format::blocked_csr())
+            .unwrap();
+        ctx.add_tensor("x", dense_vector(x.clone()), Format::replicated_dense_vec())
+            .unwrap();
+        for out in ["y", "z"] {
+            ctx.add_tensor(out, dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
+                .unwrap();
+        }
+        (ctx, b, x)
+    }
+
+    #[test]
+    fn independent_plans_flush_in_one_batch() {
+        let (mut ctx, b, x) = spmv_ctx();
+        let [i, j] = ctx.fresh_vars(["i", "j"]);
+        let sy = assign("y", &[i], access("B", &[i, j]) * access("x", &[j]));
+        let schedy = schedule_outer_dim(&mut ctx, &sy, PIECES, ParallelUnit::CpuThread);
+        let py = ctx.compile(&sy, &schedy).unwrap();
+        let [i2, j2] = ctx.fresh_vars(["i", "j"]);
+        let sz = assign("z", &[i2], access("B", &[i2, j2]) * access("x", &[j2]));
+        let schedz = schedule_outer_dim(&mut ctx, &sz, PIECES, ParallelUnit::CpuThread);
+        let pz = ctx.compile(&sz, &schedz).unwrap();
+
+        let expect = reference::spmv(&b, &x);
+        let mut session = Session::new(&mut ctx);
+        let fy = session.submit(&py);
+        let fz = session.submit(&pz);
+        assert_eq!(session.pending(), 2);
+        let report = session.flush().unwrap();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.tasks, 2 * PIECES);
+        assert_eq!(report.launches.len(), 2);
+        for got in [session.value(&fy).unwrap(), session.value(&fz).unwrap()] {
+            assert!(reference::approx_eq(
+                got.as_tensor().unwrap().vals(),
+                &expect,
+                1e-12
+            ));
+        }
+        assert_eq!(session.pending(), 0);
+    }
+
+    #[test]
+    fn raw_dependence_cuts_batches_and_chains_data() {
+        let (mut ctx, b, x) = spmv_ctx();
+        let [i, j] = ctx.fresh_vars(["i", "j"]);
+        let sy = assign("y", &[i], access("B", &[i, j]) * access("x", &[j]));
+        let schedy = schedule_outer_dim(&mut ctx, &sy, PIECES, ParallelUnit::CpuThread);
+        let py = ctx.compile(&sy, &schedy).unwrap();
+        // z = B * y: reads the first plan's output.
+        let [i2, j2] = ctx.fresh_vars(["i", "j"]);
+        let sz = assign("z", &[i2], access("B", &[i2, j2]) * access("y", &[j2]));
+        let schedz = schedule_outer_dim(&mut ctx, &sz, PIECES, ParallelUnit::CpuThread);
+        let pz = ctx.compile(&sz, &schedz).unwrap();
+
+        let y_expect = reference::spmv(&b, &x);
+        let z_expect = reference::spmv(&b, &y_expect);
+        let mut session = Session::new(&mut ctx);
+        session.submit(&py);
+        let fz = session.submit(&pz);
+        let report = session.flush().unwrap();
+        assert_eq!(report.batches, 2, "RAW must cut the pipeline");
+        let got = session.value(&fz).unwrap();
+        assert!(reference::approx_eq(
+            got.as_tensor().unwrap().vals(),
+            &z_expect,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn wait_flushes_lazily_and_timings_are_ordered() {
+        let (mut ctx, b, x) = spmv_ctx();
+        let [i, j] = ctx.fresh_vars(["i", "j"]);
+        let sy = assign("y", &[i], access("B", &[i, j]) * access("x", &[j]));
+        let sched = schedule_outer_dim(&mut ctx, &sy, PIECES, ParallelUnit::CpuThread);
+        let py = ctx.compile(&sy, &sched).unwrap();
+        let expect = reference::spmv(&b, &x);
+
+        let mut session = Session::new(&mut ctx);
+        let fy = session.submit(&py);
+        assert_eq!(session.pending(), 1);
+        let result = session.wait(&fy).unwrap();
+        assert!(reference::approx_eq(
+            result.output.as_tensor().unwrap().vals(),
+            &expect,
+            1e-12
+        ));
+        let [t] = result.launches.as_slice() else {
+            panic!("one launch timing expected");
+        };
+        assert!(t.issue <= t.start && t.start <= t.drain);
+        // The write-back landed in the context.
+        drop(session);
+        assert!(reference::approx_eq(
+            ctx.tensor("y").unwrap().data.vals(),
+            &expect,
+            1e-12
+        ));
+    }
+}

@@ -21,6 +21,7 @@ pub mod exec;
 pub mod geometry;
 pub mod machine;
 pub mod partition;
+pub mod pipeline;
 pub mod sched;
 pub mod task;
 
@@ -29,5 +30,6 @@ pub use exec::{LaunchRecord, RegionMeta, RunStats, Runtime, RuntimeError};
 pub use geometry::{IntervalSet, Rect1};
 pub use machine::{LinkProfile, Machine, MachineProfile, ProcKind, ProcProfile};
 pub use partition::Partition;
+pub use pipeline::{LaunchDesc, LaunchGraph, LaunchTiming, Pipeline};
 pub use sched::{ExecMode, ExecReport, Executor, TaskGraph};
 pub use task::{Privilege, RegionId, RegionReq, TaskSpec};

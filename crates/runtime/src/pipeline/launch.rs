@@ -1,0 +1,178 @@
+//! Launch descriptors: what one index launch touches, summarized for
+//! inter-launch dependence analysis.
+//!
+//! A [`LaunchDesc`] carries the per-point region requirement sets the
+//! intra-launch scheduler already uses, plus optional *extra* requirements
+//! that exist only at launch granularity (e.g. the plan executor claims the
+//! output tensor's real regions for the write-back that follows the
+//! compute, so a later launch touching that tensor serializes behind it).
+//! [`LaunchDesc::summary`] merges everything into one whole-launch
+//! requirement set — per `(region, privilege)`, the union of all point
+//! subsets — which is what the [`LaunchGraph`](super::LaunchGraph) analyzes.
+
+use std::collections::BTreeMap;
+
+use crate::geometry::IntervalSet;
+use crate::task::{Privilege, RegionReq};
+
+/// One deferred launch, as the pipeline driver sees it.
+#[derive(Clone, Debug)]
+pub struct LaunchDesc {
+    /// Display name (the plan's launch name).
+    pub name: String,
+    /// Per-point region requirements (drive the intra-launch DAG).
+    pub point_reqs: Vec<Vec<RegionReq>>,
+    /// Launch-granularity requirements folded into the summary only —
+    /// never into any point's intra-launch requirements.
+    pub extra_reqs: Vec<RegionReq>,
+}
+
+impl LaunchDesc {
+    pub fn new(name: impl Into<String>, point_reqs: Vec<Vec<RegionReq>>) -> Self {
+        LaunchDesc {
+            name: name.into(),
+            point_reqs,
+            extra_reqs: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append launch-granularity requirements.
+    pub fn with_extra_reqs(mut self, reqs: Vec<RegionReq>) -> Self {
+        self.extra_reqs.extend(reqs);
+        self
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.point_reqs.len()
+    }
+
+    /// The whole-launch requirement summary: for each `(region, privilege)`
+    /// pair named by any point (or by `extra_reqs`), the union of the
+    /// named subsets. Conflict analysis over summaries is conservative in
+    /// exactly the right direction: two launches conflict iff some pair of
+    /// their requirements would.
+    pub fn summary(&self) -> Vec<RegionReq> {
+        let mut merged: BTreeMap<(u32, u8), Vec<crate::geometry::Rect1>> = BTreeMap::new();
+        let mut push = |req: &RegionReq| {
+            merged
+                .entry((req.region.0, privilege_key(req.privilege)))
+                .or_default()
+                .extend_from_slice(req.subset.rects());
+        };
+        for point in &self.point_reqs {
+            for req in point {
+                push(req);
+            }
+        }
+        for req in &self.extra_reqs {
+            push(req);
+        }
+        merged
+            .into_iter()
+            .map(|((region, pk), rects)| RegionReq {
+                region: crate::task::RegionId(region),
+                subset: IntervalSet::from_rects(rects),
+                privilege: privilege_from_key(pk),
+            })
+            .collect()
+    }
+}
+
+/// Wall-clock milestones of one launch within a pipeline run, in seconds.
+///
+/// `start` and `drain` are relative to the pipeline run's own start; the
+/// driver leaves `issue` at 0.0 and callers that queue launches ahead of
+/// time (the `Session` API) rebase all three onto their submission epoch,
+/// so `issue <= start <= drain` always reads as one timeline.
+#[derive(Clone, Debug, Default)]
+pub struct LaunchTiming {
+    pub name: String,
+    /// When the launch was handed to the pipeline (0.0 unless rebased by
+    /// the caller onto a queue epoch).
+    pub issue: f64,
+    /// When the launch's first point task began executing.
+    pub start: f64,
+    /// When the launch's last point task completed.
+    pub drain: f64,
+}
+
+fn privilege_key(p: Privilege) -> u8 {
+    match p {
+        Privilege::Read => 0,
+        Privilege::ReadWrite => 1,
+        Privilege::Reduce => 2,
+    }
+}
+
+fn privilege_from_key(k: u8) -> Privilege {
+    match k {
+        0 => Privilege::Read,
+        1 => Privilege::ReadWrite,
+        _ => Privilege::Reduce,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect1;
+    use crate::task::RegionId;
+
+    fn req(region: u32, lo: i64, hi: i64, privilege: Privilege) -> RegionReq {
+        RegionReq {
+            region: RegionId(region),
+            subset: IntervalSet::from_rect(Rect1::new(lo, hi)),
+            privilege,
+        }
+    }
+
+    #[test]
+    fn summary_unions_per_region_and_privilege() {
+        let launch = LaunchDesc::new(
+            "l",
+            vec![
+                vec![
+                    req(0, 0, 4, Privilege::Read),
+                    req(1, 0, 9, Privilege::ReadWrite),
+                ],
+                vec![
+                    req(0, 5, 9, Privilege::Read),
+                    req(1, 10, 19, Privilege::ReadWrite),
+                ],
+            ],
+        );
+        let summary = launch.summary();
+        assert_eq!(summary.len(), 2);
+        let reads = summary
+            .iter()
+            .find(|r| r.privilege == Privilege::Read)
+            .unwrap();
+        assert_eq!(reads.region, RegionId(0));
+        // Adjacent point subsets coalesce into one run.
+        assert_eq!(reads.subset.rects(), &[Rect1::new(0, 9)]);
+        let writes = summary
+            .iter()
+            .find(|r| r.privilege == Privilege::ReadWrite)
+            .unwrap();
+        assert_eq!(writes.subset.total_len(), 20);
+    }
+
+    #[test]
+    fn summary_keeps_privileges_separate_and_takes_extras() {
+        let launch = LaunchDesc::new("l", vec![vec![req(0, 0, 4, Privilege::Read)]])
+            .with_extra_reqs(vec![req(0, 0, 4, Privilege::ReadWrite)]);
+        let summary = launch.summary();
+        assert_eq!(summary.len(), 2);
+        // Every point requirement is contained in some summary entry of the
+        // same region and privilege.
+        let covers = |r: &RegionReq| {
+            summary.iter().any(|s| {
+                s.region == r.region
+                    && s.privilege == r.privilege
+                    && s.subset.contains_set(&r.subset)
+            })
+        };
+        assert!(launch.point_reqs.iter().flatten().all(covers));
+        assert!(launch.extra_reqs.iter().all(covers));
+    }
+}

@@ -140,6 +140,52 @@ impl TaskGraph {
     }
 }
 
+/// Incremental constructor for composite DAGs whose edges do not all come
+/// from one launch's requirement sets — e.g. the pipeline subsystem stitches
+/// several launches' intra-launch graphs together with inter-launch edges.
+/// Edges must still point from lower to higher task index (the DAG
+/// invariant every consumer of [`TaskGraph`] relies on).
+#[derive(Clone, Debug)]
+pub struct TaskGraphBuilder {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<usize>,
+    edges: usize,
+}
+
+impl TaskGraphBuilder {
+    pub fn new(num_tasks: usize) -> Self {
+        TaskGraphBuilder {
+            succs: vec![Vec::new(); num_tasks],
+            preds: vec![0; num_tasks],
+            edges: 0,
+        }
+    }
+
+    /// Add the edge `from -> to` (idempotent: duplicates are ignored, so
+    /// composing overlapping edge sources cannot inflate predecessor
+    /// counts). Panics unless `from < to`.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(
+            from < to,
+            "task graph edges must point forward ({from} -> {to})"
+        );
+        if self.succs[from].contains(&to) {
+            return;
+        }
+        self.succs[from].push(to);
+        self.preds[to] += 1;
+        self.edges += 1;
+    }
+
+    pub fn build(self) -> TaskGraph {
+        TaskGraph {
+            succs: self.succs,
+            preds: self.preds,
+            edges: self.edges,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +260,28 @@ mod tests {
         assert!(g.path_exists(0, 3));
         // Transitive edges exist too (0->2 etc.), predecessors reflect them.
         assert_eq!(g.pred_count(3), 3);
+    }
+
+    #[test]
+    fn builder_dedups_and_counts() {
+        let mut b = TaskGraphBuilder::new(4);
+        b.add_edge(0, 2);
+        b.add_edge(0, 2); // duplicate: ignored
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.pred_count(2), 2);
+        assert_eq!(g.initially_ready(), vec![0, 1]);
+        assert!(g.path_exists(0, 3));
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must point forward")]
+    fn builder_rejects_backward_edges() {
+        TaskGraphBuilder::new(3).add_edge(2, 1);
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod graph;
 pub mod pool;
 
 pub use executor::{ExecMode, ExecReport, Executor};
-pub use graph::{privileges_commute, reqs_conflict, TaskGraph};
+pub use graph::{privileges_commute, reqs_conflict, TaskGraph, TaskGraphBuilder};
 pub use pool::PoolStats;

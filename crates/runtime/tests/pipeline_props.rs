@@ -1,0 +1,295 @@
+//! Property tests for the deferred-execution pipeline.
+//!
+//! Three invariants carry inter-launch dependence inference:
+//!
+//! 1. **Summaries cover their launches.** Every point requirement is
+//!    contained in a whole-launch summary entry of the same region and
+//!    privilege, so summary-level analysis can never miss a conflict a
+//!    point pair would have had.
+//! 2. **The launch graph serializes cross-launch conflicts.** RAW, WAR,
+//!    WAW, and read-or-write against a reduction between two launches'
+//!    summaries order the earlier launch's drain before the later one's
+//!    start; disjoint and Reduce/Reduce launches stay overlappable.
+//! 3. **Pipelined equals serial, bitwise.** Draining randomized multi-
+//!    launch pipelines whose point bodies perform non-commutative updates
+//!    produces bit-identical region contents under `ExecMode::Serial`
+//!    (issue order — launch-at-a-time) and `ExecMode::Parallel(n)`.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use spdistal_runtime::pipeline::{LaunchDesc, LaunchGraph, Pipeline};
+use spdistal_runtime::sched::{reqs_conflict, ExecMode};
+use spdistal_runtime::{IntervalSet, Privilege, Rect1, RegionId, RegionReq};
+
+const NUM_REGIONS: usize = 3;
+const REGION_LEN: usize = 64;
+
+fn privilege(k: usize) -> Privilege {
+    match k {
+        0 => Privilege::Read,
+        1 => Privilege::ReadWrite,
+        _ => Privilege::Reduce,
+    }
+}
+
+/// A randomized pipeline: 1-5 launches of 1-4 point tasks, each point with
+/// 1-3 requirements of (region, subset, privilege).
+fn arb_launches() -> impl Strategy<Value = Vec<Vec<Vec<RegionReq>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec((0usize..NUM_REGIONS, 0i64..56, 0i64..8, 0usize..3), 1..4),
+            1..5,
+        ),
+        1..6,
+    )
+    .prop_map(|launches| {
+        launches
+            .into_iter()
+            .map(|points| {
+                points
+                    .into_iter()
+                    .map(|reqs| {
+                        reqs.into_iter()
+                            .map(|(region, lo, len, p)| RegionReq {
+                                region: RegionId(region as u32),
+                                subset: IntervalSet::from_rect(Rect1::new(lo, lo + len)),
+                                privilege: privilege(p),
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn descs(launches: &[Vec<Vec<RegionReq>>]) -> Vec<LaunchDesc> {
+    launches
+        .iter()
+        .enumerate()
+        .map(|(k, points)| LaunchDesc::new(format!("launch{k}"), points.clone()))
+        .collect()
+}
+
+/// Drain a pipeline the way plan execution does: `ReadWrite` requirements
+/// mutate the shared region in place (non-commutatively), `Reduce`
+/// requirements accumulate into point-private partials combined in
+/// (launch, point) order afterwards, `Read` requirements only read.
+/// Returns the bit patterns of every region.
+fn execute(mode: ExecMode, launches: &[Vec<Vec<RegionReq>>]) -> Vec<Vec<u64>> {
+    let pipeline = Pipeline::new(descs(launches));
+    let regions: Vec<Mutex<Vec<f64>>> = (0..NUM_REGIONS)
+        .map(|r| Mutex::new(vec![1.0 + r as f64; REGION_LEN]))
+        .collect();
+    type Partials = Vec<(usize, Vec<f64>)>;
+    let partials: Vec<Vec<Mutex<Option<Partials>>>> = launches
+        .iter()
+        .map(|points| (0..points.len()).map(|_| Mutex::new(None)).collect())
+        .collect();
+
+    pipeline.run(mode, |l, p| {
+        let salt = (pipeline.flat_index(l, p) + 1) as f64;
+        let mut mine = Vec::new();
+        for req in &launches[l][p] {
+            let region = req.region.0 as usize;
+            match req.privilege {
+                Privilege::Read => {
+                    let buf = regions[region].lock().unwrap();
+                    let sum: f64 = req.subset.iter_points().map(|q| buf[q as usize]).sum();
+                    std::hint::black_box(sum);
+                }
+                Privilege::ReadWrite => {
+                    let mut buf = regions[region].lock().unwrap();
+                    for q in req.subset.iter_points() {
+                        // Non-commutative update: ordering errors flip bits.
+                        buf[q as usize] = buf[q as usize] * 1.0625 + salt;
+                    }
+                }
+                Privilege::Reduce => {
+                    let mut local = vec![0.0; REGION_LEN];
+                    for q in req.subset.iter_points() {
+                        local[q as usize] += salt * 0.125;
+                    }
+                    mine.push((region, local));
+                }
+            }
+        }
+        *partials[l][p].lock().unwrap() = Some(mine);
+    });
+
+    // Deterministic ordered combine of the reduction partials.
+    for launch in partials {
+        for slot in launch {
+            for (region, local) in slot.into_inner().unwrap().expect("point ran") {
+                let mut buf = regions[region].lock().unwrap();
+                for (dst, src) in buf.iter_mut().zip(&local) {
+                    *dst += *src;
+                }
+            }
+        }
+    }
+
+    regions
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn summaries_cover_every_point_requirement(launches in arb_launches()) {
+        for (k, points) in launches.iter().enumerate() {
+            let summary = LaunchDesc::new(format!("l{k}"), points.clone()).summary();
+            for req in points.iter().flatten() {
+                prop_assert!(
+                    summary.iter().any(|s| s.region == req.region
+                        && s.privilege == req.privilege
+                        && s.subset.contains_set(&req.subset)),
+                    "summary of launch {k} misses a point requirement"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn launch_graph_serializes_cross_launch_conflicts(launches in arb_launches()) {
+        let ds = descs(&launches);
+        let summaries: Vec<_> = ds.iter().map(LaunchDesc::summary).collect();
+        let graph = LaunchGraph::from_summaries(&summaries);
+        prop_assert_eq!(graph.num_launches(), launches.len());
+        for i in 0..launches.len() {
+            for j in (i + 1)..launches.len() {
+                // Any conflicting cross-launch point pair implies a
+                // summary conflict implies serialization.
+                let point_conflict = launches[i].iter().any(|a| {
+                    launches[j].iter().any(|b| reqs_conflict(a, b))
+                });
+                if point_conflict {
+                    prop_assert!(
+                        reqs_conflict(&summaries[i], &summaries[j]),
+                        "summaries of {i}/{j} miss a point-pair conflict"
+                    );
+                }
+                if reqs_conflict(&summaries[i], &summaries[j]) {
+                    prop_assert!(
+                        graph.serialized(i, j),
+                        "conflicting launches {i} and {j} are unordered"
+                    );
+                    prop_assert!(!graph.may_overlap(i, j));
+                } else {
+                    prop_assert!(
+                        !graph.successors(i).contains(&j),
+                        "commuting launches {i} and {j} got an edge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_execution_is_bit_identical_to_serial(launches in arb_launches()) {
+        let serial = execute(ExecMode::Serial, &launches);
+        for threads in [2usize, 4] {
+            let pipelined = execute(ExecMode::Parallel(threads), &launches);
+            prop_assert_eq!(
+                &pipelined, &serial,
+                "bitwise divergence with {} threads", threads
+            );
+        }
+    }
+}
+
+/// The headline dependence cases, stated directly: RAW, WAR, and WAW
+/// across launches serialize; disjoint writes and Reduce/Reduce overlap.
+#[test]
+fn raw_war_waw_serialize_disjoint_and_reduce_overlap() {
+    let req = |lo: i64, hi: i64, p: Privilege| RegionReq {
+        region: RegionId(0),
+        subset: IntervalSet::from_rect(Rect1::new(lo, hi)),
+        privilege: p,
+    };
+    // Two launches, each two points over [0,19] of region 0.
+    let two_points =
+        |p: Privilege| -> Vec<Vec<RegionReq>> { vec![vec![req(0, 9, p)], vec![req(10, 19, p)]] };
+    let graph_of = |a: Vec<Vec<RegionReq>>, b: Vec<Vec<RegionReq>>| {
+        let ds = [LaunchDesc::new("a", a), LaunchDesc::new("b", b)];
+        let summaries: Vec<_> = ds.iter().map(LaunchDesc::summary).collect();
+        LaunchGraph::from_summaries(&summaries)
+    };
+
+    // WAW.
+    let g = graph_of(
+        two_points(Privilege::ReadWrite),
+        two_points(Privilege::ReadWrite),
+    );
+    assert!(g.serialized(0, 1) && !g.may_overlap(0, 1));
+    // RAW.
+    let g = graph_of(
+        two_points(Privilege::ReadWrite),
+        two_points(Privilege::Read),
+    );
+    assert!(g.serialized(0, 1));
+    // WAR.
+    let g = graph_of(
+        two_points(Privilege::Read),
+        two_points(Privilege::ReadWrite),
+    );
+    assert!(g.serialized(0, 1));
+    // Disjoint writes overlap.
+    let g = graph_of(
+        vec![vec![req(0, 9, Privilege::ReadWrite)]],
+        vec![vec![req(10, 19, Privilege::ReadWrite)]],
+    );
+    assert!(g.may_overlap(0, 1));
+    // Reduce/Reduce over the same subset overlaps.
+    let g = graph_of(two_points(Privilege::Reduce), two_points(Privilege::Reduce));
+    assert!(g.may_overlap(0, 1));
+    // Read/Read overlaps.
+    let g = graph_of(two_points(Privilege::Read), two_points(Privilege::Read));
+    assert!(g.may_overlap(0, 1));
+}
+
+/// The driver runs every point of every launch exactly once, and fully
+/// orders dependent launches.
+#[test]
+fn driver_runs_points_once_and_orders_dependents() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let req = |p: Privilege| RegionReq {
+        region: RegionId(0),
+        subset: IntervalSet::from_rect(Rect1::new(0, 63)),
+        privilege: p,
+    };
+    let launches: Vec<LaunchDesc> = (0..4)
+        .map(|k| {
+            LaunchDesc::new(
+                format!("l{k}"),
+                (0..3).map(|_| vec![req(Privilege::ReadWrite)]).collect(),
+            )
+        })
+        .collect();
+    let pipeline = Pipeline::new(launches);
+    let counts: Vec<AtomicUsize> = (0..12).map(|_| AtomicUsize::new(0)).collect();
+    let order = Mutex::new(Vec::new());
+    let (report, timings) = pipeline.run(ExecMode::Parallel(4), |l, p| {
+        counts[pipeline.flat_index(l, p)].fetch_add(1, Ordering::Relaxed);
+        order.lock().unwrap().push(l);
+    });
+    assert_eq!(report.tasks, 12);
+    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    // Fully conflicting launches: the launch sequence must be sorted.
+    let order = order.into_inner().unwrap();
+    assert!(order.windows(2).all(|w| w[0] <= w[1]));
+    // And the milestones reflect the serialization.
+    for pair in timings.windows(2) {
+        assert!(pair[1].start >= pair[0].drain);
+    }
+}
