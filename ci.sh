@@ -25,6 +25,9 @@ cargo bench -p spdistal-bench --bench parallel_exec
 echo "==> bench smoke: pipeline_exec (launch-at-a-time vs pipelined CP-ALS)"
 cargo bench -p spdistal-bench --bench pipeline_exec
 
+echo "==> bench smoke: skewed_exec (split vs unsplit on skewed inputs)"
+cargo bench -p spdistal-bench --bench skewed_exec
+
 echo "==> bench smoke: fig10 strong scaling (small scale)"
 SPDISTAL_SCALE=0.05 cargo run --release -q -p spdistal-bench --bin fig10_cpu_strong_scaling
 

@@ -32,6 +32,7 @@ fn leaf_kernels(c: &mut Criterion) {
                     &b,
                     &row_part,
                     col,
+                    None,
                     &x,
                     &spdistal::OutVals::new(&mut out),
                 );
@@ -47,6 +48,7 @@ fn leaf_kernels(c: &mut Criterion) {
                     &b,
                     &nz_part,
                     col,
+                    None,
                     &x,
                     &spdistal::OutVals::new(&mut out),
                 );

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use spdistal_ir::tdn::DistSpec;
 use spdistal_ir::{Format, IndexVar, SchedError, TdnError, VarCtx};
 use spdistal_runtime::{
-    ExecMode, IntervalSet, Machine, Partition, Rect1, RegionId, Runtime, RuntimeError,
+    ExecMode, IntervalSet, Machine, Partition, Rect1, RegionId, Runtime, RuntimeError, SplitPolicy,
 };
 use spdistal_sparse::{Level, SpTensor};
 
@@ -113,6 +113,7 @@ pub struct Context {
     tensors: BTreeMap<String, DistTensor>,
     vars: VarCtx,
     exec_mode: ExecMode,
+    split: SplitPolicy,
 }
 
 impl Context {
@@ -122,6 +123,7 @@ impl Context {
             tensors: BTreeMap::new(),
             vars: VarCtx::new(),
             exec_mode: ExecMode::Serial,
+            split: SplitPolicy::Auto,
         }
     }
 
@@ -141,6 +143,24 @@ impl Context {
     /// Builder-style variant of [`Context::set_exec_mode`].
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// How splittable leaf kernels are chunked into spans (nested
+    /// intra-color parallelism). [`SplitPolicy::Auto`] (the default) sizes
+    /// spans to the execution mode — serial execution never splits — and
+    /// outputs stay bit-identical under every policy.
+    pub fn split_policy(&self) -> SplitPolicy {
+        self.split
+    }
+
+    pub fn set_split_policy(&mut self, policy: SplitPolicy) {
+        self.split = policy;
+    }
+
+    /// Builder-style variant of [`Context::set_split_policy`].
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split = policy;
         self
     }
 

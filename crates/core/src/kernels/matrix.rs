@@ -9,19 +9,21 @@
 use spdistal_runtime::Rect1;
 use spdistal_sparse::{Level, SpTensor};
 
-use super::{walk_partitioned, OutVals};
+use super::{walk_partitioned_span, KernelSpan, OutVals};
 use crate::level_funcs::TensorPartition;
 
-/// SpMV for one color: `a(i) += B(i,j) * c(j)` over the color's entries.
+/// SpMV for one color: `a(i) += B(i,j) * c(j)` over the color's entries —
+/// or over one [`KernelSpan`] (a row chunk) of them.
 pub fn spmv_color(
     b: &SpTensor,
     part: &TensorPartition,
     color: usize,
+    span: Option<&KernelSpan>,
     c: &[f64],
     out: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
-    walk_partitioned(b, part, color, &mut |coords, _, v| {
+    walk_partitioned_span(b, part, color, span, &mut |coords, _, v| {
         out.add(coords[0] as usize, v * c[coords[1] as usize]);
         ops += 1;
     });
@@ -34,12 +36,13 @@ pub fn spmm_color(
     b: &SpTensor,
     part: &TensorPartition,
     color: usize,
+    span: Option<&KernelSpan>,
     c: &[f64],
     jdim: usize,
     out: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
-    walk_partitioned(b, part, color, &mut |coords, _, v| {
+    walk_partitioned_span(b, part, color, span, &mut |coords, _, v| {
         let (i, k) = (coords[0] as usize, coords[1] as usize);
         out.add_scaled(i * jdim, v, &c[k * jdim..(k + 1) * jdim]);
         ops += jdim as u64;
@@ -54,6 +57,7 @@ pub fn sddmm_color(
     b: &SpTensor,
     part: &TensorPartition,
     color: usize,
+    span: Option<&KernelSpan>,
     c: &[f64],
     d: &[f64],
     kdim: usize,
@@ -61,7 +65,7 @@ pub fn sddmm_color(
     out_vals: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
-    walk_partitioned(b, part, color, &mut |coords, entries, v| {
+    walk_partitioned_span(b, part, color, span, &mut |coords, entries, v| {
         let (i, j) = (coords[0] as usize, coords[1] as usize);
         let mut dot = 0.0;
         for k in 0..kdim {
@@ -93,8 +97,19 @@ pub fn spadd3_color(
     d: &SpTensor,
     row_part: &TensorPartition,
     color: usize,
+    span: Option<&KernelSpan>,
 ) -> (Vec<AddRow>, f64, f64) {
-    let rows_subset = row_part.entries[0].subset(color);
+    // A span is a row chunk: clamp the color's rows to it so spans of one
+    // color assemble disjoint, ascending row ranges.
+    let spanned;
+    let rows_subset = match span {
+        Some(s) => {
+            debug_assert_eq!(s.level, 0, "SpAdd3 splits on rows");
+            spanned = s.clamp_to(row_part, color);
+            &spanned
+        }
+        None => row_part.entries[0].subset(color),
+    };
     let mut out = Vec::new();
     let mut sym_ops = 0u64;
     let mut num_ops = 0u64;
@@ -213,7 +228,7 @@ mod tests {
             let mut out = vec![0.0; n];
             let mut total_ops = 0.0;
             for col in 0..colors {
-                total_ops += spmv_color(&b, &pu, col, &c, &OutVals::new(&mut out));
+                total_ops += spmv_color(&b, &pu, col, None, &c, &OutVals::new(&mut out));
             }
             assert!(reference::approx_eq(&out, &expect, 1e-12));
             assert_eq!(total_ops as usize, b.nnz());
@@ -221,7 +236,7 @@ mod tests {
             let pz = partition_tensor(&b, 1, nonzero_partition(&b, 1, colors));
             let mut out2 = vec![0.0; n];
             for col in 0..colors {
-                spmv_color(&b, &pz, col, &c, &OutVals::new(&mut out2));
+                spmv_color(&b, &pz, col, None, &c, &OutVals::new(&mut out2));
             }
             assert!(reference::approx_eq(&out2, &expect, 1e-12));
         }
@@ -236,7 +251,7 @@ mod tests {
         let p = row_part(&b, 4);
         let mut out = vec![0.0; 40 * jdim];
         for col in 0..4 {
-            spmm_color(&b, &p, col, &c, jdim, &OutVals::new(&mut out));
+            spmm_color(&b, &p, col, None, &c, jdim, &OutVals::new(&mut out));
         }
         assert!(reference::approx_eq(&out, &expect, 1e-12));
     }
@@ -252,7 +267,7 @@ mod tests {
         let p = partition_tensor(&b, 1, nonzero_partition(&b, 1, 5));
         let mut vals = vec![0.0; b.num_stored()];
         for col in 0..5 {
-            sddmm_color(&b, &p, col, &c, &d, kdim, m, &OutVals::new(&mut vals));
+            sddmm_color(&b, &p, col, None, &c, &d, kdim, m, &OutVals::new(&mut vals));
         }
         assert!(reference::approx_eq(&vals, expect.vals(), 1e-12));
     }
@@ -266,7 +281,7 @@ mod tests {
         let p = row_part(&b, 4);
         let mut rows = Vec::new();
         for col in 0..4 {
-            let (r, sym, num) = spadd3_color(&b, &c, &d, &p, col);
+            let (r, sym, num) = spadd3_color(&b, &c, &d, &p, col, None);
             assert!(sym > 0.0 && num > 0.0);
             rows.extend(r);
         }

@@ -10,10 +10,14 @@
 //! color's partition.
 
 pub mod matrix;
+pub mod split;
 pub mod tensor3;
 
 use spdistal_ir::{Assignment, Term};
+use spdistal_runtime::IntervalSet;
 use spdistal_sparse::{Level, LevelFormat, SpTensor};
+
+pub use split::{color_spans, split_level, KernelSpan};
 
 use crate::level_funcs::TensorPartition;
 
@@ -290,16 +294,40 @@ pub type EntryVisitor<'a> = dyn FnMut(&[i64], &[usize], f64) + 'a;
 /// boundary rows of a non-zero split) visit exactly the positions the color
 /// owns at the leaf level.
 pub fn walk_partitioned(t: &SpTensor, part: &TensorPartition, color: usize, f: &mut EntryVisitor) {
+    walk_partitioned_span(t, part, color, None, f)
+}
+
+/// [`walk_partitioned`] restricted to one [`KernelSpan`]: the span's level
+/// is additionally clamped to the span's subset, every other level keeps
+/// the color's clamps. Walking every span of a color (chunks of the
+/// color's subset at one level) visits exactly the color's entries, each
+/// exactly once, because every leaf entry descends from exactly one
+/// split-level entry.
+pub fn walk_partitioned_span(
+    t: &SpTensor,
+    part: &TensorPartition,
+    color: usize,
+    span: Option<&KernelSpan>,
+    f: &mut EntryVisitor,
+) {
     let mut coords = vec![0i64; t.order()];
     let mut entries = vec![0usize; t.order()];
-    walk_rec(t, part, color, 0, 0, &mut coords, &mut entries, f);
+    // Per-level clamps: the color's subsets, with the span's level
+    // intersected once up front (not per parent entry).
+    let spanned: Option<IntervalSet> = span.map(|s| s.clamp_to(part, color));
+    let mut clamps: Vec<&IntervalSet> = (0..t.order())
+        .map(|level| part.entries[level].subset(color))
+        .collect();
+    if let (Some(s), Some(set)) = (span, spanned.as_ref()) {
+        clamps[s.level] = set;
+    }
+    walk_rec(t, &clamps, 0, 0, &mut coords, &mut entries, f);
 }
 
 #[allow(clippy::too_many_arguments)]
 fn walk_rec(
     t: &SpTensor,
-    part: &TensorPartition,
-    color: usize,
+    clamps: &[&IntervalSet],
     level: usize,
     parent_entry: usize,
     coords: &mut Vec<i64>,
@@ -310,7 +338,7 @@ fn walk_rec(
         f(coords, entries, t.vals()[parent_entry]);
         return;
     }
-    let subset = part.entries[level].subset(color);
+    let subset = clamps[level];
     match t.level(level) {
         Level::Dense { size } => {
             let s = *size as i64;
@@ -323,7 +351,7 @@ fn walk_rec(
                 for e in r.lo..=r.hi {
                     coords[level] = e - parent_entry as i64 * s;
                     entries[level] = e as usize;
-                    walk_rec(t, part, color, level + 1, e as usize, coords, entries, f);
+                    walk_rec(t, clamps, level + 1, e as usize, coords, entries, f);
                 }
             }
         }
@@ -337,7 +365,7 @@ fn walk_rec(
                 for q in r.lo..=r.hi {
                     coords[level] = crd[q as usize];
                     entries[level] = q as usize;
-                    walk_rec(t, part, color, level + 1, q as usize, coords, entries, f);
+                    walk_rec(t, clamps, level + 1, q as usize, coords, entries, f);
                 }
             }
         }
@@ -345,7 +373,7 @@ fn walk_rec(
             if subset.contains(parent_entry as i64) {
                 coords[level] = crd[parent_entry];
                 entries[level] = parent_entry;
-                walk_rec(t, part, color, level + 1, parent_entry, coords, entries, f);
+                walk_rec(t, clamps, level + 1, parent_entry, coords, entries, f);
             }
         }
     }

@@ -6,7 +6,7 @@
 
 use spdistal_sparse::SpTensor;
 
-use super::{walk_partitioned, OutVals};
+use super::{walk_partitioned_span, KernelSpan, OutVals};
 use crate::level_funcs::{entry_counts, TensorPartition};
 
 /// SpTTV for one color: `A(i,j) += B(i,j,k) * c(k)`.
@@ -14,16 +14,19 @@ use crate::level_funcs::{entry_counts, TensorPartition};
 /// The output values are position-aligned with `B`'s level-1 entries (the
 /// (i,j) fibers), matching the paper's pattern-preserving output path
 /// (Section V-B): `out_fiber_vals` has one slot per level-1 entry of `B`.
+/// A [`KernelSpan`] restricts the walk to a fiber chunk, so spans of one
+/// color accumulate into disjoint fiber slots.
 pub fn spttv_color(
     b: &SpTensor,
     part: &TensorPartition,
     color: usize,
+    span: Option<&KernelSpan>,
     c: &[f64],
     out_fiber_vals: &OutVals,
 ) -> f64 {
     debug_assert_eq!(out_fiber_vals.len() as u64, entry_counts(b)[1]);
     let mut ops = 0u64;
-    walk_partitioned(b, part, color, &mut |coords, entries, v| {
+    walk_partitioned_span(b, part, color, span, &mut |coords, entries, v| {
         out_fiber_vals.add(entries[1], v * c[coords[2] as usize]);
         ops += 1;
     });
@@ -32,17 +35,19 @@ pub fn spttv_color(
 
 /// SpMTTKRP for one color: `A(i,l) += B(i,j,k) * C(j,l) * D(k,l)` with
 /// dense row-major factors of width `ldim`.
+#[allow(clippy::too_many_arguments)]
 pub fn spmttkrp_color(
     b: &SpTensor,
     part: &TensorPartition,
     color: usize,
+    span: Option<&KernelSpan>,
     c: &[f64],
     d: &[f64],
     ldim: usize,
     out: &OutVals,
 ) -> f64 {
     let mut ops = 0u64;
-    walk_partitioned(b, part, color, &mut |coords, _, v| {
+    walk_partitioned_span(b, part, color, span, &mut |coords, _, v| {
         let (i, j, k) = (coords[0] as usize, coords[1] as usize, coords[2] as usize);
         out.add_scaled_product(
             i * ldim,
@@ -88,7 +93,7 @@ mod tests {
             );
             let mut fibers = vec![0.0; entry_counts(&b)[1] as usize];
             for col in 0..colors {
-                spttv_color(&b, &pu, col, &c, &OutVals::new(&mut fibers));
+                spttv_color(&b, &pu, col, None, &c, &OutVals::new(&mut fibers));
             }
             let got = to_dense(&spttv_output(&b, fibers));
             assert!(
@@ -99,7 +104,7 @@ mod tests {
             let pz = partition_tensor(&b, 2, nonzero_partition(&b, 2, colors));
             let mut fibers2 = vec![0.0; entry_counts(&b)[1] as usize];
             for col in 0..colors {
-                spttv_color(&b, &pz, col, &c, &OutVals::new(&mut fibers2));
+                spttv_color(&b, &pz, col, None, &c, &OutVals::new(&mut fibers2));
             }
             let got2 = to_dense(&spttv_output(&b, fibers2));
             assert!(
@@ -119,7 +124,7 @@ mod tests {
         let p = partition_tensor(&b, 0, universe_partition(&b, 0, &equal_coord_bounds(12, 3)));
         let mut out = vec![0.0; 12 * ldim];
         for col in 0..3 {
-            spmttkrp_color(&b, &p, col, &c, &d, ldim, &OutVals::new(&mut out));
+            spmttkrp_color(&b, &p, col, None, &c, &d, ldim, &OutVals::new(&mut out));
         }
         assert!(reference::approx_eq(&out, &expect, 1e-12));
     }
@@ -143,7 +148,7 @@ mod tests {
         let p = partition_tensor(&b, 2, nonzero_partition(&b, 2, 4));
         let mut out = vec![0.0; 6 * ldim];
         for col in 0..4 {
-            spmttkrp_color(&b, &p, col, &c, &d, ldim, &OutVals::new(&mut out));
+            spmttkrp_color(&b, &p, col, None, &c, &d, ldim, &OutVals::new(&mut out));
         }
         assert!(reference::approx_eq(&out, &expect, 1e-12));
     }

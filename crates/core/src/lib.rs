@@ -57,5 +57,5 @@ pub mod prelude {
     pub use crate::plan::{ExecResult, OutputValue};
     pub use crate::session::{FlushReport, Session, TensorFuture};
     pub use spdistal_ir::{Format, ParallelUnit, Schedule};
-    pub use spdistal_runtime::{ExecMode, LaunchTiming, Machine, MachineProfile};
+    pub use spdistal_runtime::{ExecMode, LaunchTiming, Machine, MachineProfile, SplitPolicy};
 }

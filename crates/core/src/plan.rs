@@ -42,8 +42,31 @@
 //! * assembled sparse outputs are built from per-color private rows,
 //!   concatenated in color order.
 //!
+//! ## Splittable colors: two-level sub-tasks
+//!
+//! Describe additionally decides, per statement, whether a color's leaf
+//! kernel is *splittable* and emits sub-task descriptors
+//! ([`KernelSpan`]s) instead of one closure per color: chunks of the
+//! color's iteration space at the driver level that keys the output
+//! writes (see [`crate::kernels::split`]). The launch descriptor carries
+//! the per-color span widths, so the executor steals *inside* a dominant
+//! color when workers idle. Splitting is invisible to results:
+//!
+//! * spans of an in-place color write the shared buffer exactly where the
+//!   unsplit color would — disjoint elements, unchanged per-element
+//!   accumulation order;
+//! * spans of a reduction color share the *color's* private partial the
+//!   same way; color partials still combine in color order;
+//! * assembled rows concatenate in (color, span) order — identical to the
+//!   color's own ascending row order;
+//! * per-color modeled op counts are exact integer sums over spans, so
+//!   simulated time cannot move.
+//!
 //! The simulator remains the cost model: [`ExecResult::time`] is simulated,
-//! [`ExecResult::wall_time`] is the measured compute-phase wall-clock.
+//! [`ExecResult::wall_time`] is the measured compute-phase wall-clock, and
+//! `ExecResult::sched` reports the measured per-color critical path
+//! (`critical_task_seconds`) next to it, so the gap between the modeled
+//! balance and the achieved schedule is visible under skew.
 
 use std::sync::Mutex;
 
@@ -57,7 +80,7 @@ use spdistal_sparse::{dense_vector, CooTensor, Level, SpTensor};
 
 use crate::codegen::{OutKind, Plan, PlannedInput};
 use crate::dist_tensor::{procs_for_color, Context, Error, LevelRegions, VAL_BYTES};
-use crate::kernels::{matrix, tensor3, LeafKernel, OutVals};
+use crate::kernels::{self, matrix, tensor3, KernelSpan, LeafKernel, OutVals};
 use crate::level_funcs::{entry_counts, TensorPartition};
 
 /// The computed value of a plan's output.
@@ -123,7 +146,9 @@ pub struct ExecResult {
 pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
     let mut prepared = PreparedPlan::new(ctx, plan, DAG_OUT_REGION)?;
     let pipeline = Pipeline::new(vec![prepared.take_launch_desc()]);
-    let (report, timings) = pipeline.run(ctx.exec_mode(), |_, point| prepared.run_point(point));
+    let (report, timings) = pipeline.run(ctx.exec_mode(), |_, point, span| {
+        prepared.run_point(point, span)
+    });
     let (computed, ops) = prepared.finish()?;
     finish_model(ctx, plan, computed, ops, report, timings)
 }
@@ -132,12 +157,11 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
 /// after the compute phase sizes it) when deriving the compute DAG.
 pub(crate) const DAG_OUT_REGION: RegionId = RegionId(u32::MAX);
 
-/// One color's computed contribution, parked until [`PreparedPlan::finish`].
+/// One span's computed contribution, parked until [`PreparedPlan::finish`].
 enum PointResult {
-    /// Wrote the shared output in place; the modeled op count.
+    /// Wrote its output buffer (shared, or the color's reduction partial)
+    /// in place; the modeled op count.
     Ops(f64),
-    /// A reduction task's private partial.
-    Partial { ops: f64, vals: Vec<f64> },
     /// SpAdd3's assembled private rows with (symbolic, numeric) op counts.
     Rows {
         rows: Vec<matrix::AddRow>,
@@ -220,16 +244,29 @@ impl SharedOut {
 
 /// A plan resolved against the context — the **describe** half of
 /// execution. Holds everything the compute phase needs (borrowed operand
-/// views, per-point region requirements, result slots) so any driver that
-/// honors the requirements' dependence structure can run the points.
+/// views, per-point region requirements, sub-task descriptors, result
+/// slots) so any driver that honors the requirements' dependence structure
+/// can run the points — span by span.
 pub(crate) struct PreparedPlan<'a> {
     plan: &'a Plan,
     driver: &'a SpTensor,
     part: &'a TensorPartition,
     point_reqs: Vec<Vec<RegionReq>>,
+    /// Sub-task descriptors: `spans[point]` are that color's kernel spans
+    /// (`None` = the whole color, unsplit). Split safety was decided per
+    /// statement at describe time; spans of one color write disjoint
+    /// output elements by construction.
+    spans: Vec<Vec<Option<KernelSpan>>>,
+    /// `span_offsets[point]`: flat slot index of the point's first span.
+    span_offsets: Vec<usize>,
     body: Body<'a>,
     out_len: usize,
     shared: Option<SharedOut>,
+    /// Reduction plans: one private partial per color, written in place by
+    /// the color's spans (disjoint elements), combined in color order at
+    /// [`PreparedPlan::finish`]. Empty for in-place/assembled/interp plans.
+    reduce_parts: Vec<SharedOut>,
+    /// One result slot per span, in (point, span) order.
     slots: Vec<Mutex<Option<PointResult>>>,
 }
 
@@ -323,49 +360,110 @@ impl<'a> PreparedPlan<'a> {
             _ if plan.output.reduce => None,
             _ => Some(SharedOut::new(vec![0.0; out_len])),
         };
+        // Aliased (reduce) outputs: the color partials the unsplit path
+        // allocated per point task, hoisted to describe time so a split
+        // color's spans can share one partial (writing disjoint elements).
+        let reduce_parts: Vec<SharedOut> = if shared.is_none()
+            && !matches!(plan.kernel, LeafKernel::SpAdd3 | LeafKernel::Generic)
+        {
+            (0..plan.colors)
+                .map(|_| SharedOut::new(vec![0.0; out_len]))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
-        let slots = (0..point_reqs.len()).map(|_| Mutex::new(None)).collect();
+        // Split safety per statement: the interpreted fallback is one
+        // opaque evaluation; everything else splits at the kernel's
+        // output-keyed level, sized by the context's policy and mode.
+        let spans: Vec<Vec<Option<KernelSpan>>> = if matches!(body, Body::Interp { .. }) {
+            vec![vec![None]]
+        } else {
+            let total_weight: u64 = (0..plan.colors)
+                .map(|c| kernels::split::color_weight(part, c))
+                .sum();
+            (0..point_reqs.len())
+                .map(|color| {
+                    kernels::color_spans(
+                        driver,
+                        part,
+                        &plan.kernel,
+                        color,
+                        ctx.split_policy(),
+                        ctx.exec_mode(),
+                        total_weight,
+                    )
+                })
+                .collect()
+        };
+        let mut span_offsets = Vec::with_capacity(spans.len());
+        let mut total_spans = 0;
+        for s in &spans {
+            span_offsets.push(total_spans);
+            total_spans += s.len();
+        }
+
+        let slots = (0..total_spans).map(|_| Mutex::new(None)).collect();
         Ok(PreparedPlan {
             plan,
             driver,
             part,
             point_reqs,
+            spans,
+            span_offsets,
             body,
             out_len,
             shared,
+            reduce_parts,
             slots,
         })
     }
 
-    /// The launch descriptor of this plan's compute phase. Hands the point
+    /// The launch descriptor of this plan's compute phase: the per-point
+    /// requirements plus the per-point span widths. Hands the point
     /// requirements over to the pipeline (they have no further use here),
     /// so building a pipeline never deep-copies requirement sets.
     pub(crate) fn take_launch_desc(&mut self) -> LaunchDesc {
+        let widths = self.spans.iter().map(Vec::len).collect();
         LaunchDesc::new(self.plan.name.clone(), std::mem::take(&mut self.point_reqs))
+            .with_point_widths(widths)
     }
 
-    /// Run one point task. Must be called exactly once per point, under a
-    /// driver that serializes the conflicting pairs named by
-    /// [`Self::launch_desc`]'s requirements.
-    pub(crate) fn run_point(&self, point: usize) {
+    /// Run one span of one point task. Must be called exactly once per
+    /// (point, span), under a driver that serializes the conflicting point
+    /// pairs named by the launch descriptor's requirements; spans of one
+    /// point may run concurrently (they touch disjoint output elements).
+    pub(crate) fn run_point(&self, point: usize, span: usize) {
+        let clamp = self.spans[point][span].as_ref();
         let result = match &self.body {
-            Body::SpMv { c } => {
-                self.dense_point(|out| matrix::spmv_color(self.driver, self.part, point, c, out))
-            }
-            Body::SpMm { c, jdim } => self.dense_point(|out| {
-                matrix::spmm_color(self.driver, self.part, point, c, *jdim, out)
+            Body::SpMv { c } => self.dense_point(point, |out| {
+                matrix::spmv_color(self.driver, self.part, point, clamp, c, out)
             }),
-            Body::Sddmm { c, d, kdim, jdim } => self.dense_point(|out| {
-                matrix::sddmm_color(self.driver, self.part, point, c, d, *kdim, *jdim, out)
+            Body::SpMm { c, jdim } => self.dense_point(point, |out| {
+                matrix::spmm_color(self.driver, self.part, point, clamp, c, *jdim, out)
             }),
-            Body::SpTtv { c } => {
-                self.dense_point(|out| tensor3::spttv_color(self.driver, self.part, point, c, out))
-            }
-            Body::SpMttkrp { c, d, ldim } => self.dense_point(|out| {
-                tensor3::spmttkrp_color(self.driver, self.part, point, c, d, *ldim, out)
+            Body::Sddmm { c, d, kdim, jdim } => self.dense_point(point, |out| {
+                matrix::sddmm_color(
+                    self.driver,
+                    self.part,
+                    point,
+                    clamp,
+                    c,
+                    d,
+                    *kdim,
+                    *jdim,
+                    out,
+                )
+            }),
+            Body::SpTtv { c } => self.dense_point(point, |out| {
+                tensor3::spttv_color(self.driver, self.part, point, clamp, c, out)
+            }),
+            Body::SpMttkrp { c, d, ldim } => self.dense_point(point, |out| {
+                tensor3::spmttkrp_color(self.driver, self.part, point, clamp, c, d, *ldim, out)
             }),
             Body::SpAdd3 { c, d } => {
-                let (rows, sym, num) = matrix::spadd3_color(self.driver, c, d, self.part, point);
+                let (rows, sym, num) =
+                    matrix::spadd3_color(self.driver, c, d, self.part, point, clamp);
                 PointResult::Rows { rows, sym, num }
             }
             Body::Interp { bindings, out_dims } => {
@@ -375,28 +473,32 @@ impl<'a> PreparedPlan<'a> {
                 }
             }
         };
-        *self.slots[point].lock().unwrap() = Some(result);
+        *self.slots[self.span_offsets[point] + span].lock().unwrap() = Some(result);
     }
 
-    fn dense_point(&self, kernel: impl FnOnce(&OutVals) -> f64) -> PointResult {
-        match &self.shared {
-            Some(shared) => PointResult::Ops(kernel(&shared.writer())),
-            None => {
-                let mut partial = vec![0.0; self.out_len];
-                let ops = kernel(&OutVals::new(&mut partial));
-                PointResult::Partial { ops, vals: partial }
-            }
-        }
+    fn dense_point(&self, point: usize, kernel: impl FnOnce(&OutVals) -> f64) -> PointResult {
+        let ops = match &self.shared {
+            Some(shared) => kernel(&shared.writer()),
+            None => kernel(&self.reduce_parts[point].writer()),
+        };
+        PointResult::Ops(ops)
     }
 
-    /// Fold the per-point results into the computed output and the
-    /// per-color modeled op counts. Call after every point ran.
+    /// Fold the per-span results into the computed output and the
+    /// per-color modeled op counts. Call after every span ran.
     pub(crate) fn finish(self) -> Result<(Computed, Vec<f64>), Error> {
-        let results: Vec<PointResult> = self
+        // Group the flat span results back per point, in span order.
+        let mut flat: Vec<PointResult> = self
             .slots
             .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("point task did not run"))
+            .map(|s| s.into_inner().unwrap().expect("span did not run"))
             .collect();
+        let mut results: Vec<Vec<PointResult>> = Vec::with_capacity(self.spans.len());
+        for point_spans in self.spans.iter().rev() {
+            let rest = flat.split_off(flat.len() - point_spans.len());
+            results.push(rest);
+        }
+        results.reverse();
         let colors = self.plan.colors;
         match self.plan.kernel {
             LeafKernel::SpAdd3 => {
@@ -405,15 +507,24 @@ impl<'a> PreparedPlan<'a> {
                 let mut per_color_nnz = Vec::with_capacity(colors);
                 let mut symbolic_ops = Vec::with_capacity(colors);
                 let mut numeric_ops = Vec::with_capacity(colors);
-                for (col, r) in results.into_iter().enumerate() {
-                    let PointResult::Rows { rows, sym, num } = r else {
-                        unreachable!("SpAdd3 point result shape");
-                    };
-                    per_color_nnz.push(rows.iter().map(|r| r.cols.len()).sum());
-                    symbolic_ops.push(sym);
-                    numeric_ops.push(num);
-                    ops[col] = sym + num;
-                    all_rows.extend(rows);
+                for (col, spans) in results.into_iter().enumerate() {
+                    // Concatenate span rows in span order: spans are
+                    // ascending chunks of the color's rows, so this is the
+                    // unsplit color's own row order.
+                    let (mut nnz, mut sym_c, mut num_c) = (0usize, 0.0, 0.0);
+                    for r in spans {
+                        let PointResult::Rows { rows, sym, num } = r else {
+                            unreachable!("SpAdd3 span result shape");
+                        };
+                        nnz += rows.iter().map(|r| r.cols.len()).sum::<usize>();
+                        sym_c += sym;
+                        num_c += num;
+                        all_rows.extend(rows);
+                    }
+                    per_color_nnz.push(nnz);
+                    symbolic_ops.push(sym_c);
+                    numeric_ops.push(num_c);
+                    ops[col] = sym_c + num_c;
                 }
                 let total_nnz = per_color_nnz.iter().sum();
                 Ok((
@@ -428,7 +539,8 @@ impl<'a> PreparedPlan<'a> {
                 ))
             }
             LeafKernel::Generic => {
-                let [result] = <[PointResult; 1]>::try_from(results)
+                let flat: Vec<PointResult> = results.into_iter().flatten().collect();
+                let [result] = <[PointResult; 1]>::try_from(flat)
                     .map_err(|_| Error::Unsupported("generic point count".into()))?;
                 let dense = match result {
                     PointResult::Interp(v) => v,
@@ -442,24 +554,25 @@ impl<'a> PreparedPlan<'a> {
                 Ok((Computed::Dense(dense), ops))
             }
             _ => {
+                // Per-color ops: exact integer sums over the color's spans
+                // (kernel op counts are whole numbers), so the modeled cost
+                // is independent of splitting.
                 let mut ops = vec![0.0; colors];
-                let buf = if let Some(shared) = self.shared {
-                    for (col, r) in results.into_iter().enumerate() {
+                for (col, spans) in results.into_iter().enumerate() {
+                    for r in spans {
                         let PointResult::Ops(o) = r else {
-                            unreachable!("in-place point result shape");
+                            unreachable!("dense span result shape");
                         };
-                        ops[col] = o;
+                        ops[col] += o;
                     }
+                }
+                let buf = if let Some(shared) = self.shared {
                     shared.into_vec()
                 } else {
                     // Reduction: combine private partials in color order.
                     let mut out = vec![0.0; self.out_len];
-                    for (col, r) in results.into_iter().enumerate() {
-                        let PointResult::Partial { ops: o, vals } = r else {
-                            unreachable!("reduce point result shape");
-                        };
-                        ops[col] = o;
-                        for (dst, src) in out.iter_mut().zip(&vals) {
+                    for partial in self.reduce_parts {
+                        for (dst, src) in out.iter_mut().zip(partial.into_vec()) {
                             *dst += src;
                         }
                     }

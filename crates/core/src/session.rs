@@ -28,7 +28,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::time::Instant;
 
 use spdistal_runtime::pipeline::{LaunchTiming, Pipeline};
-use spdistal_runtime::sched::ExecMode;
+use spdistal_runtime::sched::{ExecMode, SplitPolicy};
 use spdistal_runtime::RegionId;
 use spdistal_sparse::SpTensor;
 
@@ -62,6 +62,9 @@ pub struct FlushReport {
     pub wall_seconds: f64,
     /// Point tasks executed across all batches.
     pub tasks: usize,
+    /// Spans executed across all batches (== `tasks` when nothing split;
+    /// more when intra-color splitting chunked dominant colors).
+    pub spans: usize,
     /// Work-stealing steals across all batches.
     pub steals: usize,
     /// Worker threads used (max over batches).
@@ -73,7 +76,7 @@ pub struct FlushReport {
 
 enum Slot {
     Pending,
-    Done(ExecResult),
+    Done(Box<ExecResult>),
     Aborted(String),
 }
 
@@ -116,6 +119,12 @@ impl<'c> Session<'c> {
     /// Select how flushed batches execute (delegates to the context).
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.ctx.set_exec_mode(mode);
+    }
+
+    /// Select how splittable colors chunk into spans (delegates to the
+    /// context); takes effect from the next flush's describe phase.
+    pub fn set_split_policy(&mut self, policy: SplitPolicy) {
+        self.ctx.set_split_policy(policy);
     }
 
     /// Queue `plan` for deferred execution and return its future. The plan
@@ -230,8 +239,9 @@ impl<'c> Session<'c> {
                 prepared.push(p);
             }
             let pipeline = Pipeline::new(launches);
-            let (exec_report, timings) =
-                pipeline.run(mode, |launch, point| prepared[launch].run_point(point));
+            let (exec_report, timings) = pipeline.run(mode, |launch, point, span| {
+                prepared[launch].run_point(point, span)
+            });
             let finished = prepared
                 .into_iter()
                 .map(PreparedPlan::finish)
@@ -257,12 +267,13 @@ impl<'c> Session<'c> {
             batch.iter().zip(finished).zip(timings.iter().cloned())
         {
             let result = finish_model(self.ctx, &q.plan, computed, ops, exec_report, vec![timing])?;
-            self.slots[q.ticket] = Slot::Done(result);
+            self.slots[q.ticket] = Slot::Done(Box::new(result));
         }
 
         report.batches += 1;
         report.wall_seconds += exec_report.wall_seconds;
         report.tasks += exec_report.tasks;
+        report.spans += exec_report.spans;
         report.steals += exec_report.steals;
         report.threads = report.threads.max(exec_report.threads);
         report.launches.extend(timings);

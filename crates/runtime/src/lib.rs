@@ -31,5 +31,5 @@ pub use geometry::{IntervalSet, Rect1};
 pub use machine::{LinkProfile, Machine, MachineProfile, ProcKind, ProcProfile};
 pub use partition::Partition;
 pub use pipeline::{LaunchDesc, LaunchGraph, LaunchTiming, Pipeline};
-pub use sched::{ExecMode, ExecReport, Executor, TaskGraph};
+pub use sched::{ExecMode, ExecReport, Executor, SplitPolicy, TaskGraph};
 pub use task::{Privilege, RegionId, RegionReq, TaskSpec};

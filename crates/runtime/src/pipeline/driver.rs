@@ -11,9 +11,13 @@
 //! [`Pipeline::run`] then drains the combined graph through the existing
 //! work-stealing [`Executor`] in one pass, so point tasks from *different,
 //! independent* launches interleave freely on the pool while dependent
-//! launches pipeline behind each other. Per launch it records when the
-//! first point started and the last point drained, the deferred-execution
-//! telemetry callers surface as [`LaunchTiming`].
+//! launches pipeline behind each other. Per-point span widths flatten the
+//! same way: a split point contributes its spans as individually stealable
+//! work items (two-level nodes, exactly as in a single launch), so
+//! pipelined multi-launch programs benefit from intra-color parallelism
+//! too. Per launch it records when the first span started and the last
+//! span drained, the deferred-execution telemetry callers surface as
+//! [`LaunchTiming`].
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -70,9 +74,15 @@ impl Pipeline {
                 }
             }
         }
+        // Span widths flatten point-for-point: the flat graph keeps each
+        // launch's two-level (point -> spans) structure.
+        let widths: Vec<usize> = launches
+            .iter()
+            .flat_map(|l| l.point_widths.iter().copied())
+            .collect();
 
         Pipeline {
-            graph: builder.build(),
+            graph: builder.build().with_widths(widths),
             launch_graph,
             offsets,
             locate,
@@ -104,27 +114,29 @@ impl Pipeline {
     }
 
     /// Drain every launch's point tasks in one pool pass, honoring both
-    /// intra- and inter-launch dependences. `body(launch, point)` runs
-    /// exactly once per point task. Returns the executor's report over the
-    /// whole drain plus per-launch start/drain milestones (seconds relative
-    /// to this call; `issue` is left at 0.0 for the caller to rebase).
+    /// intra- and inter-launch dependences. `body(launch, point, span)`
+    /// runs exactly once per span of every point task. Returns the
+    /// executor's report over the whole drain plus per-launch start/drain
+    /// milestones (seconds relative to this call; `issue` is left at 0.0
+    /// for the caller to rebase).
     pub fn run(
         &self,
         mode: ExecMode,
-        body: impl Fn(usize, usize) + Sync,
+        body: impl Fn(usize, usize, usize) + Sync,
     ) -> (ExecReport, Vec<LaunchTiming>) {
         let n_launches = self.launches.len();
         let starts: Vec<AtomicU64> = (0..n_launches).map(|_| AtomicU64::new(u64::MAX)).collect();
         let drains: Vec<AtomicU64> = (0..n_launches).map(|_| AtomicU64::new(0)).collect();
         let done: Vec<AtomicUsize> = (0..n_launches).map(|_| AtomicUsize::new(0)).collect();
+        let span_totals: Vec<usize> = self.launches.iter().map(LaunchDesc::num_spans).collect();
 
         let t0 = Instant::now();
-        let report = Executor::new(mode).run(&self.graph, |flat| {
+        let report = Executor::new(mode).run(&self.graph, |flat, span| {
             let (launch, point) = self.locate[flat];
             starts[launch].fetch_min(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            body(launch, point);
+            body(launch, point, span);
             let finished = done[launch].fetch_add(1, Ordering::AcqRel) + 1;
-            if finished == self.launches[launch].num_points() {
+            if finished == span_totals[launch] {
                 drains[launch].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
         });
@@ -188,7 +200,7 @@ mod tests {
         assert_eq!(pipeline.task_graph().num_edges(), 12);
 
         let order = Mutex::new(Vec::new());
-        let (report, timings) = pipeline.run(ExecMode::Parallel(4), |l, p| {
+        let (report, timings) = pipeline.run(ExecMode::Parallel(4), |l, p, _| {
             order.lock().unwrap().push((l, p));
         });
         assert_eq!(report.tasks, 10);
@@ -216,15 +228,47 @@ mod tests {
             launch("b", 0, 2, Privilege::ReadWrite),
         ]);
         let order = Mutex::new(Vec::new());
-        pipeline.run(ExecMode::Serial, |l, p| order.lock().unwrap().push((l, p)));
+        pipeline.run(ExecMode::Serial, |l, p, _| {
+            order.lock().unwrap().push((l, p))
+        });
         assert_eq!(*order.lock().unwrap(), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
     }
 
     #[test]
     fn empty_pipeline_is_fine() {
         let pipeline = Pipeline::new(Vec::new());
-        let (report, timings) = pipeline.run(ExecMode::Parallel(2), |_, _| {});
+        let (report, timings) = pipeline.run(ExecMode::Parallel(2), |_, _, _| {});
         assert_eq!(report.tasks, 0);
         assert!(timings.is_empty());
+    }
+
+    #[test]
+    fn span_widths_flatten_across_launches() {
+        // w0 (RAW-ordered before r) has a split point; every span of it
+        // must run before any span of r, and the drain milestone must wait
+        // for the *last* span.
+        let w0 = launch("w0", 0, 2, Privilege::ReadWrite).with_point_widths(vec![4, 1]);
+        let r = launch("r", 0, 2, Privilege::Read).with_point_widths(vec![2, 2]);
+        let pipeline = Pipeline::new(vec![w0, r]);
+        assert_eq!(pipeline.num_tasks(), 4);
+        assert_eq!(pipeline.task_graph().total_spans(), 9);
+        assert_eq!(pipeline.task_graph().width(0), 4);
+
+        let order = Mutex::new(Vec::new());
+        let (report, timings) = pipeline.run(ExecMode::Parallel(3), |l, p, s| {
+            order.lock().unwrap().push((l, p, s));
+        });
+        assert_eq!(report.tasks, 4);
+        assert_eq!(report.spans, 9);
+        assert_eq!(report.split_tasks, 3);
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), 9);
+        let first_r = order.iter().position(|&(l, _, _)| l == 1).unwrap();
+        assert_eq!(
+            order[..first_r].iter().filter(|&&(l, _, _)| l == 0).count(),
+            5,
+            "every span of w0 precedes every span of r: {order:?}"
+        );
+        assert!(timings[1].start >= timings[0].drain);
     }
 }

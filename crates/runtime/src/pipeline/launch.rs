@@ -22,6 +22,11 @@ pub struct LaunchDesc {
     pub name: String,
     /// Per-point region requirements (drive the intra-launch DAG).
     pub point_reqs: Vec<Vec<RegionReq>>,
+    /// Per-point span widths (parallel to `point_reqs`, all 1 unless the
+    /// describing layer emitted sub-task descriptors). Spans of one point
+    /// are mutually independent by the describer's contract; dependences
+    /// stay at point granularity.
+    pub point_widths: Vec<usize>,
     /// Launch-granularity requirements folded into the summary only —
     /// never into any point's intra-launch requirements.
     pub extra_reqs: Vec<RegionReq>,
@@ -29,9 +34,11 @@ pub struct LaunchDesc {
 
 impl LaunchDesc {
     pub fn new(name: impl Into<String>, point_reqs: Vec<Vec<RegionReq>>) -> Self {
+        let widths = vec![1; point_reqs.len()];
         LaunchDesc {
             name: name.into(),
             point_reqs,
+            point_widths: widths,
             extra_reqs: Vec::new(),
         }
     }
@@ -42,8 +49,22 @@ impl LaunchDesc {
         self
     }
 
+    /// Builder-style: set the per-point span widths.
+    pub fn with_point_widths(mut self, widths: Vec<usize>) -> Self {
+        assert_eq!(widths.len(), self.point_reqs.len(), "one width per point");
+        assert!(widths.iter().all(|&w| w >= 1), "span widths must be >= 1");
+        self.point_widths = widths;
+        self
+    }
+
     pub fn num_points(&self) -> usize {
         self.point_reqs.len()
+    }
+
+    /// Total spans across all points (the pipeline's work items for this
+    /// launch).
+    pub fn num_spans(&self) -> usize {
+        self.point_widths.iter().sum()
     }
 
     /// The whole-launch requirement summary: for each `(region, privilege)`
@@ -155,6 +176,21 @@ mod tests {
             .find(|r| r.privilege == Privilege::ReadWrite)
             .unwrap();
         assert_eq!(writes.subset.total_len(), 20);
+    }
+
+    #[test]
+    fn point_widths_default_and_build() {
+        let launch = LaunchDesc::new(
+            "l",
+            vec![
+                vec![req(0, 0, 4, Privilege::Read)],
+                vec![req(0, 5, 9, Privilege::Read)],
+            ],
+        );
+        assert_eq!(launch.point_widths, vec![1, 1]);
+        assert_eq!(launch.num_spans(), 2);
+        let launch = launch.with_point_widths(vec![3, 1]);
+        assert_eq!(launch.num_spans(), 4);
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //! The graph is a DAG by construction: edges always point from the lower
 //! task index to the higher one, mirroring Legion's program-order
 //! dependence analysis.
+//!
+//! ## Two-level nodes: tasks and spans
+//!
+//! Each node optionally carries a *width*: the number of independent
+//! **spans** (sub-tasks) it splits into. Dependences stay at task
+//! granularity — a task is complete only when all its spans completed, and
+//! successors wait for the whole task — but the executor schedules spans
+//! individually, so an idle worker can steal *inside* a wide task instead
+//! of waiting behind its critical color. Width 1 (the default) is exactly
+//! the old single-closure node.
 
 use crate::task::{Privilege, RegionReq};
 
@@ -27,6 +37,8 @@ pub struct TaskGraph {
     /// `preds[i]`: number of tasks `i` waits for.
     preds: Vec<usize>,
     edges: usize,
+    /// `widths[i]`: independent spans task `i` splits into (>= 1).
+    widths: Vec<usize>,
 }
 
 /// True iff two privileges may act on overlapping data concurrently.
@@ -68,6 +80,7 @@ impl TaskGraph {
             succs,
             preds,
             edges,
+            widths: vec![1; n],
         }
     }
 
@@ -77,7 +90,35 @@ impl TaskGraph {
             succs: vec![Vec::new(); n],
             preds: vec![0; n],
             edges: 0,
+            widths: vec![1; n],
         }
+    }
+
+    /// Give each task a span width (builder-style). `widths[i]` is the
+    /// number of independent spans task `i` splits into; every entry must
+    /// be at least 1 and the caller guarantees spans of one task touch
+    /// pairwise-disjoint data (the graph does not re-check this — spans
+    /// are *derived* from a task whose requirements it already analyzed).
+    pub fn with_widths(mut self, widths: Vec<usize>) -> TaskGraph {
+        assert_eq!(widths.len(), self.preds.len(), "one width per task");
+        assert!(widths.iter().all(|&w| w >= 1), "span widths must be >= 1");
+        self.widths = widths;
+        self
+    }
+
+    /// Number of spans task `task` splits into (1 = unsplit).
+    pub fn width(&self, task: usize) -> usize {
+        self.widths[task]
+    }
+
+    /// Total spans across all tasks (the executor's work-item count).
+    pub fn total_spans(&self) -> usize {
+        self.widths.iter().sum()
+    }
+
+    /// Tasks with more than one span.
+    pub fn split_tasks(&self) -> usize {
+        self.widths.iter().filter(|&&w| w > 1).count()
     }
 
     pub fn num_tasks(&self) -> usize {
@@ -178,10 +219,12 @@ impl TaskGraphBuilder {
     }
 
     pub fn build(self) -> TaskGraph {
+        let n = self.preds.len();
         TaskGraph {
             succs: self.succs,
             preds: self.preds,
             edges: self.edges,
+            widths: vec![1; n],
         }
     }
 }
@@ -291,5 +334,22 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.critical_path_len(), 1);
         assert_eq!(g.initially_ready().len(), 5);
+    }
+
+    #[test]
+    fn widths_default_to_one_and_sum_to_spans() {
+        let g = TaskGraph::independent(3);
+        assert_eq!(g.total_spans(), 3);
+        assert_eq!(g.split_tasks(), 0);
+        let g = g.with_widths(vec![1, 4, 2]);
+        assert_eq!(g.width(1), 4);
+        assert_eq!(g.total_spans(), 7);
+        assert_eq!(g.split_tasks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "span widths must be >= 1")]
+    fn zero_width_rejected() {
+        TaskGraph::independent(2).with_widths(vec![1, 0]);
     }
 }

@@ -12,10 +12,17 @@
 //! * [`graph`] — dependence analysis: a [`TaskGraph`] derived from each
 //!   point task's [`crate::task::RegionReq`] set. Read/Read and
 //!   Reduce/Reduce commute; everything else serializes in task order.
-//! * [`pool`] — a `std::thread` work-stealing pool that drains the DAG.
+//!   Nodes are **two-level**: a task may carry a span *width*, splitting
+//!   it into independent sub-tasks the pool schedules individually while
+//!   dependences stay at task granularity.
+//! * [`pool`] — a `std::thread` work-stealing pool that drains the DAG at
+//!   span granularity, so an idle worker steals *inside* a wide task (the
+//!   dominant color of a skewed launch) instead of waiting behind it.
 //! * [`executor`] — the [`ExecMode`] knob ([`ExecMode::Serial`] vs
-//!   [`ExecMode::Parallel`]) and the [`ExecReport`] carrying real
-//!   wall-clock time, so callers report it alongside simulated time.
+//!   [`ExecMode::Parallel`]), the [`SplitPolicy`] governing how wide
+//!   splittable tasks are chunked, and the [`ExecReport`] carrying real
+//!   wall-clock time (per-task critical time included), so callers report
+//!   it alongside simulated time.
 //!
 //! The simulator stays untouched as the cost model: the scheduler never
 //! feeds wall-clock back into modeled time.
@@ -24,6 +31,6 @@ pub mod executor;
 pub mod graph;
 pub mod pool;
 
-pub use executor::{ExecMode, ExecReport, Executor};
+pub use executor::{ExecMode, ExecReport, Executor, SplitPolicy};
 pub use graph::{privileges_commute, reqs_conflict, TaskGraph, TaskGraphBuilder};
 pub use pool::PoolStats;

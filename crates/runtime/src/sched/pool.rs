@@ -1,39 +1,52 @@
 //! A `std::thread`-based work-stealing pool that drains a [`TaskGraph`].
 //!
-//! Each worker owns a deque: it pushes tasks it makes ready onto the back
-//! and pops from the back (LIFO keeps the working set warm); idle workers
-//! steal from the *front* of a victim's deque (FIFO steals take the oldest,
-//! likely largest, pending subtree). No external crates: deques are
-//! `Mutex<VecDeque>` — point tasks here are leaf kernels over whole tensor
-//! blocks, so lock traffic per task is noise compared to the task body.
+//! Work items are **spans**: a task of width `w` contributes `w`
+//! independent `(task, span)` items, all released together when the task's
+//! last predecessor completes. Each worker owns a deque: it pushes items it
+//! makes ready onto the back and pops from the back (LIFO keeps the working
+//! set warm); idle workers steal from the *front* of a victim's deque (FIFO
+//! steals take the oldest, likely largest, pending subtree — and with
+//! split tasks, the spans of the heaviest color). No external crates:
+//! deques are `Mutex<VecDeque>` — items here are leaf-kernel chunks over
+//! tensor blocks, so lock traffic per item is noise compared to the body.
 //!
 //! A task becomes ready when its last predecessor in the dependence graph
-//! completes; the completing worker pushes it locally and wakes one sleeper.
-//! Workers with nothing to pop or steal park on a condvar with a timeout
-//! (rather than spinning) until the launch drains.
+//! completes; the completing worker pushes the task's spans locally and
+//! wakes sleepers. A task *completes* when all its spans completed —
+//! successors never observe a partially-drained task. Workers with nothing
+//! to pop or steal park on a condvar with a timeout (rather than spinning)
+//! until the launch drains.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use super::graph::TaskGraph;
 
 /// Counters from one pool run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PoolStats {
-    /// Tasks executed (equals the graph's task count on success).
+    /// Spans executed (equals the graph's total span count on success).
     pub executed: usize,
-    /// Tasks a worker took from another worker's deque.
+    /// Spans a worker took from another worker's deque.
     pub steals: usize,
+    /// Accumulated body seconds per task (summed over its spans) — the
+    /// time the task would gate a serial drain by, split or not.
+    pub task_seconds: Vec<f64>,
 }
 
 struct Shared<'g> {
     graph: &'g TaskGraph,
-    deques: Vec<Mutex<VecDeque<usize>>>,
-    /// Remaining predecessor count per task; a task is pushed when its
-    /// count reaches zero.
+    deques: Vec<Mutex<VecDeque<(usize, usize)>>>,
+    /// Remaining predecessor count per task; a task's spans are pushed
+    /// when its count reaches zero.
     waits: Vec<AtomicUsize>,
+    /// Remaining span count per task; the task completes (and releases
+    /// successors) when it reaches zero.
+    spans_left: Vec<AtomicUsize>,
+    /// Accumulated body nanoseconds per task.
+    task_nanos: Vec<AtomicU64>,
     /// Tasks not yet completed (workers exit when this hits zero).
     remaining: AtomicUsize,
     steals: AtomicUsize,
@@ -43,11 +56,11 @@ struct Shared<'g> {
 }
 
 impl Shared<'_> {
-    fn pop_local(&self, me: usize) -> Option<usize> {
+    fn pop_local(&self, me: usize) -> Option<(usize, usize)> {
         self.deques[me].lock().unwrap().pop_back()
     }
 
-    fn steal(&self, me: usize) -> Option<usize> {
+    fn steal(&self, me: usize) -> Option<(usize, usize)> {
         let n = self.deques.len();
         // Start the victim scan at a per-(worker, attempt) offset so
         // thieves don't all hammer worker 0.
@@ -57,20 +70,35 @@ impl Shared<'_> {
             if victim == me {
                 continue;
             }
-            if let Some(task) = self.deques[victim].lock().unwrap().pop_front() {
+            if let Some(item) = self.deques[victim].lock().unwrap().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(task);
+                return Some(item);
             }
         }
         None
     }
 
-    fn complete(&self, me: usize, task: usize) {
+    /// Release every span of a task that just became ready.
+    fn push_ready(&self, me: usize, task: usize) -> usize {
+        let width = self.graph.width(task);
+        {
+            let mut deque = self.deques[me].lock().unwrap();
+            for span in 0..width {
+                deque.push_back((task, span));
+            }
+        }
+        width
+    }
+
+    fn complete_span(&self, me: usize, task: usize, nanos: u64) {
+        self.task_nanos[task].fetch_add(nanos, Ordering::Relaxed);
+        if self.spans_left[task].fetch_sub(1, Ordering::AcqRel) != 1 {
+            return; // siblings still running; the task is not done yet
+        }
         let mut woke = 0;
         for &succ in self.graph.successors(task) {
             if self.waits[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.deques[me].lock().unwrap().push_back(succ);
-                woke += 1;
+                woke += self.push_ready(me, succ);
             }
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -96,30 +124,46 @@ impl Shared<'_> {
     }
 }
 
-/// Drain `graph` on `threads` workers, calling `body` exactly once per task.
-/// Dependence edges are honored: a task runs only after all predecessors
-/// completed (and their effects are visible — completion counts use
-/// acquire/release ordering).
-pub fn run_graph(threads: usize, graph: &TaskGraph, body: &(dyn Fn(usize) + Sync)) -> PoolStats {
+/// Drain `graph` on `threads` workers, calling `body(task, span)` exactly
+/// once per span. Dependence edges are honored at task granularity: no
+/// span of a task runs before every span of every predecessor completed
+/// (and their effects are visible — completion counts use acquire/release
+/// ordering). Spans of one task may run concurrently in any order.
+pub fn run_graph(
+    threads: usize,
+    graph: &TaskGraph,
+    body: &(dyn Fn(usize, usize) + Sync),
+) -> PoolStats {
     let n = graph.num_tasks();
+    let total_spans = graph.total_spans();
     if n == 0 {
         return PoolStats::default();
     }
-    let threads = threads.max(1).min(n);
+    let threads = threads.max(1).min(total_spans);
     let shared = Shared {
         graph,
         deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         waits: (0..n)
             .map(|t| AtomicUsize::new(graph.pred_count(t)))
             .collect(),
+        spans_left: (0..n).map(|t| AtomicUsize::new(graph.width(t))).collect(),
+        task_nanos: (0..n).map(|_| AtomicU64::new(0)).collect(),
         remaining: AtomicUsize::new(n),
         steals: AtomicUsize::new(0),
         idle_lock: Mutex::new(()),
         idle_cv: Condvar::new(),
     };
-    // Seed the deques with the initially ready tasks, round-robin.
-    for (k, task) in graph.initially_ready().into_iter().enumerate() {
-        shared.deques[k % threads].lock().unwrap().push_back(task);
+    // Seed the deques with the initially ready spans, round-robin, so the
+    // spans of a wide (split) task start spread across the workers.
+    let mut k = 0;
+    for task in graph.initially_ready() {
+        for span in 0..graph.width(task) {
+            shared.deques[k % threads]
+                .lock()
+                .unwrap()
+                .push_back((task, span));
+            k += 1;
+        }
     }
 
     std::thread::scope(|scope| {
@@ -130,9 +174,11 @@ pub fn run_graph(threads: usize, graph: &TaskGraph, body: &(dyn Fn(usize) + Sync
                     return;
                 }
                 match shared.pop_local(me).or_else(|| shared.steal(me)) {
-                    Some(task) => {
-                        body(task);
-                        shared.complete(me, task);
+                    Some((task, span)) => {
+                        let t0 = Instant::now();
+                        body(task, span);
+                        let nanos = t0.elapsed().as_nanos() as u64;
+                        shared.complete_span(me, task, nanos);
                     }
                     None => shared.park(),
                 }
@@ -141,9 +187,18 @@ pub fn run_graph(threads: usize, graph: &TaskGraph, body: &(dyn Fn(usize) + Sync
     });
 
     debug_assert!(shared.waits.iter().all(|w| w.load(Ordering::Relaxed) == 0));
+    debug_assert!(shared
+        .spans_left
+        .iter()
+        .all(|w| w.load(Ordering::Relaxed) == 0));
     PoolStats {
-        executed: n,
+        executed: total_spans,
         steals: shared.steals.load(Ordering::Relaxed),
+        task_seconds: shared
+            .task_nanos
+            .iter()
+            .map(|ns| ns.load(Ordering::Relaxed) as f64 * 1e-9)
+            .collect(),
     }
 }
 
@@ -158,11 +213,29 @@ mod tests {
     fn runs_every_task_exactly_once() {
         let g = TaskGraph::independent(64);
         let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
-        let stats = run_graph(4, &g, &|t| {
+        let stats = run_graph(4, &g, &|t, _| {
             counts[t].fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(stats.executed, 64);
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn runs_every_span_exactly_once() {
+        let widths = vec![1usize, 5, 2, 7];
+        let g = TaskGraph::independent(4).with_widths(widths.clone());
+        let counts: Vec<Vec<AtomicUsize>> = widths
+            .iter()
+            .map(|&w| (0..w).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        let stats = run_graph(4, &g, &|t, s| {
+            counts[t][s].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(stats.executed, 15);
+        for per_task in &counts {
+            assert!(per_task.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+        assert_eq!(stats.task_seconds.len(), 4);
     }
 
     #[test]
@@ -179,8 +252,39 @@ mod tests {
             .collect();
         let g = TaskGraph::from_reqs(&reqs);
         let order = Mutex::new(Vec::new());
-        run_graph(4, &g, &|t| order.lock().unwrap().push(t));
+        run_graph(4, &g, &|t, _| order.lock().unwrap().push(t));
         assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn successors_wait_for_every_span() {
+        // Task 0 (width 6) writes; task 1 reads: every span of 0 must
+        // complete before any span of 1 starts.
+        let w = RegionReq {
+            region: RegionId(0),
+            subset: IntervalSet::from_rect(Rect1::new(0, 9)),
+            privilege: Privilege::ReadWrite,
+        };
+        let r = RegionReq {
+            privilege: Privilege::Read,
+            ..w.clone()
+        };
+        let g = TaskGraph::from_reqs(&[vec![w], vec![r]]).with_widths(vec![6, 3]);
+        for threads in [2usize, 4] {
+            let order = Mutex::new(Vec::new());
+            run_graph(threads, &g, &|t, s| order.lock().unwrap().push((t, s)));
+            let order = order.into_inner().unwrap();
+            assert_eq!(order.len(), 9);
+            let first_reader = order.iter().position(|&(t, _)| t == 1).unwrap();
+            assert!(
+                order[..first_reader]
+                    .iter()
+                    .filter(|&&(t, _)| t == 0)
+                    .count()
+                    == 6,
+                "all writer spans must precede the first reader span: {order:?}"
+            );
+        }
     }
 
     #[test]
@@ -199,7 +303,7 @@ mod tests {
         let reqs = vec![vec![w(0, 9)], vec![r(0, 4)], vec![r(5, 9)], vec![w(0, 9)]];
         let g = TaskGraph::from_reqs(&reqs);
         let order = Mutex::new(Vec::new());
-        run_graph(3, &g, &|t| order.lock().unwrap().push(t));
+        run_graph(3, &g, &|t, _| order.lock().unwrap().push(t));
         let order = order.into_inner().unwrap();
         let pos = |t: usize| order.iter().position(|&x| x == t).unwrap();
         assert!(pos(0) < pos(1) && pos(0) < pos(2));
@@ -213,7 +317,7 @@ mod tests {
         let n = 200;
         let g = TaskGraph::independent(n);
         let acc: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        run_graph(8, &g, &|t| {
+        run_graph(8, &g, &|t, _| {
             acc[t].fetch_add(t as u64 + 1, Ordering::Relaxed);
         });
         let total: u64 = acc.iter().map(|a| a.load(Ordering::Relaxed)).sum();
@@ -233,7 +337,7 @@ mod tests {
             .collect();
         let g = TaskGraph::from_reqs(&reqs);
         let order = Mutex::new(Vec::new());
-        let stats = run_graph(1, &g, &|t| order.lock().unwrap().push(t));
+        let stats = run_graph(1, &g, &|t, _| order.lock().unwrap().push(t));
         assert_eq!(stats.executed, 8);
         assert_eq!(stats.steals, 0);
         assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());

@@ -88,7 +88,7 @@ fn execute(mode: ExecMode, launches: &[Vec<Vec<RegionReq>>]) -> Vec<Vec<u64>> {
         .map(|points| (0..points.len()).map(|_| Mutex::new(None)).collect())
         .collect();
 
-    pipeline.run(mode, |l, p| {
+    pipeline.run(mode, |l, p, _| {
         let salt = (pipeline.flat_index(l, p) + 1) as f64;
         let mut mine = Vec::new();
         for req in &launches[l][p] {
@@ -279,7 +279,7 @@ fn driver_runs_points_once_and_orders_dependents() {
     let pipeline = Pipeline::new(launches);
     let counts: Vec<AtomicUsize> = (0..12).map(|_| AtomicUsize::new(0)).collect();
     let order = Mutex::new(Vec::new());
-    let (report, timings) = pipeline.run(ExecMode::Parallel(4), |l, p| {
+    let (report, timings) = pipeline.run(ExecMode::Parallel(4), |l, p, _| {
         counts[pipeline.flat_index(l, p)].fetch_add(1, Ordering::Relaxed);
         order.lock().unwrap().push(l);
     });

@@ -1,6 +1,6 @@
 //! Property tests for the parallel task scheduler.
 //!
-//! Two invariants carry the whole subsystem:
+//! Three invariants carry the whole subsystem:
 //!
 //! 1. **The DAG serializes conflicts.** For any pair of tasks whose region
 //!    requirements overlap with a non-commuting privilege pair (RAW, WAR,
@@ -11,6 +11,11 @@
 //!    (`x -> x * c + t`) must produce bit-identical region contents under
 //!    `ExecMode::Serial` and `ExecMode::Parallel(n)` for every thread
 //!    count — any mis-ordered conflicting pair or lost update flips bits.
+//! 3. **Splitting is invisible.** Giving tasks random span widths — spans
+//!    of one task touching pairwise-disjoint elements, exactly the
+//!    contract the plan layer guarantees — changes neither property: every
+//!    span runs exactly once, dependences still hold at task granularity,
+//!    and the bits match the unsplit serial reference.
 
 use std::sync::Mutex;
 
@@ -20,6 +25,7 @@ use spdistal_runtime::{IntervalSet, Privilege, Rect1, RegionId, RegionReq};
 
 const NUM_REGIONS: usize = 3;
 const REGION_LEN: usize = 64;
+const MAX_WIDTH: usize = 5;
 
 /// A randomized launch: per task, 1-3 requirements of (region, subset,
 /// privilege).
@@ -53,52 +59,72 @@ fn arb_launch() -> impl Strategy<Value = Vec<Vec<RegionReq>>> {
 /// requirements accumulate into task-private partials combined in task
 /// order afterwards, `Read` requirements only read. Returns the bit
 /// patterns of every region.
-/// One task's reduction partials: `(region, local buffer)` pairs.
+///
+/// With `widths`, each task's requirements are *split*: span `s` of a task
+/// of width `w` handles exactly the subset points `p` with `p % w == s` —
+/// pairwise disjoint across spans, unioning to the task's subset, which is
+/// the plan layer's splitting contract.
+/// One span's reduction partials: `(region, local buffer)` pairs.
 type TaskPartials = Vec<(usize, Vec<f64>)>;
 
-fn execute(mode: ExecMode, launch: &[Vec<RegionReq>]) -> Vec<Vec<u64>> {
-    let graph = TaskGraph::from_reqs(launch);
+fn execute(mode: ExecMode, launch: &[Vec<RegionReq>], widths: Option<&[usize]>) -> Vec<Vec<u64>> {
+    let unsplit = vec![1usize; launch.len()];
+    let widths = widths.unwrap_or(&unsplit);
+    let graph = TaskGraph::from_reqs(launch).with_widths(widths.to_vec());
     let regions: Vec<Mutex<Vec<f64>>> = (0..NUM_REGIONS)
         .map(|r| Mutex::new(vec![1.0 + r as f64; REGION_LEN]))
         .collect();
-    let partials: Vec<Mutex<Option<TaskPartials>>> =
-        (0..launch.len()).map(|_| Mutex::new(None)).collect();
+    let partials: Vec<Vec<Mutex<Option<TaskPartials>>>> = widths
+        .iter()
+        .map(|&w| (0..w).map(|_| Mutex::new(None)).collect())
+        .collect();
 
-    Executor::new(mode).run(&graph, |t| {
+    Executor::new(mode).run(&graph, |t, s| {
+        let width = widths[t];
+        let mine_p = |p: i64| p as usize % width == s;
         let mut mine = Vec::new();
         for req in &launch[t] {
             let region = req.region.0 as usize;
             match req.privilege {
                 Privilege::Read => {
                     let buf = regions[region].lock().unwrap();
-                    let sum: f64 = req.subset.iter_points().map(|p| buf[p as usize]).sum();
+                    let sum: f64 = req
+                        .subset
+                        .iter_points()
+                        .filter(|&p| mine_p(p))
+                        .map(|p| buf[p as usize])
+                        .sum();
                     std::hint::black_box(sum);
                 }
                 Privilege::ReadWrite => {
                     let mut buf = regions[region].lock().unwrap();
-                    for p in req.subset.iter_points() {
+                    for p in req.subset.iter_points().filter(|&p| mine_p(p)) {
                         // Non-commutative update: ordering errors flip bits.
                         buf[p as usize] = buf[p as usize] * 1.0625 + (t + 1) as f64;
                     }
                 }
                 Privilege::Reduce => {
                     let mut local = vec![0.0; REGION_LEN];
-                    for p in req.subset.iter_points() {
+                    for p in req.subset.iter_points().filter(|&p| mine_p(p)) {
                         local[p as usize] += (t + 1) as f64 * 0.125;
                     }
                     mine.push((region, local));
                 }
             }
         }
-        *partials[t].lock().unwrap() = Some(mine);
+        *partials[t][s].lock().unwrap() = Some(mine);
     });
 
-    // Deterministic ordered combine of the reduction partials.
-    for slot in partials {
-        for (region, local) in slot.into_inner().unwrap().expect("task ran") {
-            let mut buf = regions[region].lock().unwrap();
-            for (dst, src) in buf.iter_mut().zip(&local) {
-                *dst += *src;
+    // Deterministic ordered combine of the reduction partials, span-major
+    // within each task. Span partials touch disjoint elements, so this
+    // matches the unsplit task-order combine bit-for-bit.
+    for task in partials {
+        for slot in task {
+            for (region, local) in slot.into_inner().unwrap().expect("span ran") {
+                let mut buf = regions[region].lock().unwrap();
+                for (dst, src) in buf.iter_mut().zip(&local) {
+                    *dst += *src;
+                }
             }
         }
     }
@@ -185,13 +211,59 @@ proptest! {
 
     #[test]
     fn parallel_execution_is_bit_identical_to_serial(launch in arb_launch()) {
-        let serial = execute(ExecMode::Serial, &launch);
+        let serial = execute(ExecMode::Serial, &launch, None);
         for threads in [2usize, 4, 8] {
-            let parallel = execute(ExecMode::Parallel(threads), &launch);
+            let parallel = execute(ExecMode::Parallel(threads), &launch, None);
             prop_assert_eq!(
                 &parallel, &serial,
                 "bitwise divergence with {} threads", threads
             );
+        }
+    }
+
+    #[test]
+    fn split_execution_is_bit_identical_to_unsplit_serial(
+        launch in arb_launch(),
+        width_seed in proptest::collection::vec(1usize..MAX_WIDTH + 1, 14),
+    ) {
+        let widths: Vec<usize> = (0..launch.len()).map(|t| width_seed[t]).collect();
+        let reference = execute(ExecMode::Serial, &launch, None);
+        // Split under serial execution (spans in span order)...
+        let split_serial = execute(ExecMode::Serial, &launch, Some(&widths));
+        prop_assert_eq!(&split_serial, &reference, "serial split divergence");
+        // ...and under the span-stealing pool at several thread counts.
+        for threads in [2usize, 4] {
+            let split_parallel =
+                execute(ExecMode::Parallel(threads), &launch, Some(&widths));
+            prop_assert_eq!(
+                &split_parallel, &reference,
+                "split bitwise divergence with {} threads", threads
+            );
+        }
+    }
+
+    /// Every span of every task runs exactly once, whatever the widths.
+    #[test]
+    fn every_span_runs_exactly_once(
+        launch in arb_launch(),
+        width_seed in proptest::collection::vec(1usize..MAX_WIDTH + 1, 14),
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let widths: Vec<usize> = (0..launch.len()).map(|t| width_seed[t]).collect();
+        let graph = TaskGraph::from_reqs(&launch).with_widths(widths.clone());
+        let counts: Vec<Vec<AtomicUsize>> = widths
+            .iter()
+            .map(|&w| (0..w).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        let report = Executor::new(ExecMode::Parallel(3)).run(&graph, |t, s| {
+            counts[t][s].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert_eq!(report.tasks, launch.len());
+        prop_assert_eq!(report.spans, widths.iter().sum::<usize>());
+        for (t, per_task) in counts.iter().enumerate() {
+            for (s, c) in per_task.iter().enumerate() {
+                prop_assert_eq!(c.load(Ordering::Relaxed), 1, "span ({}, {})", t, s);
+            }
         }
     }
 }

@@ -79,15 +79,22 @@ pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> SpTensor {
 /// networks (twitter7) — the inputs whose skew motivates non-zero
 /// partitioning.
 pub fn rmat(scale: u32, nnz: usize, a: f64, b: f64, c: f64, seed: u64) -> SpTensor {
+    rmat_impl(scale, nnz, a, b, c, seed, true)
+}
+
+fn rmat_impl(scale: u32, nnz: usize, a: f64, b: f64, c: f64, seed: u64, shuffle: bool) -> SpTensor {
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     // R-MAT clusters its hubs at low indices; real web crawls order pages
     // by URL, which decorrelates degree from row index. Shuffle vertex ids
     // so the per-row degree distribution keeps its heavy tail while
-    // contiguous row blocks carry representative non-zero counts.
+    // contiguous row blocks carry representative non-zero counts. (The
+    // clustered variant skips the shuffle — see [`rmat_clustered`].)
     let mut perm: Vec<usize> = (0..n).collect();
-    for k in (1..n).rev() {
-        perm.swap(k, rng.gen_range(0..=k));
+    if shuffle {
+        for k in (1..n).rev() {
+            perm.swap(k, rng.gen_range(0..=k));
+        }
     }
     let mut coo = CooTensor::new(vec![n, n]);
     for _ in 0..nnz {
@@ -114,6 +121,20 @@ pub fn rmat(scale: u32, nnz: usize, a: f64, b: f64, c: f64, seed: u64) -> SpTens
 /// R-MAT with the classic web-graph parameters.
 pub fn rmat_default(scale: u32, nnz: usize, seed: u64) -> SpTensor {
     rmat(scale, nnz, 0.57, 0.19, 0.19, seed)
+}
+
+/// R-MAT with its hubs left *clustered* at low row indices (no vertex
+/// shuffle) and skew dialed by `alpha` in `[0, 1]`: `alpha = 0` spreads
+/// samples evenly across quadrants, `alpha = 1` concentrates them hard in
+/// the top-left. Contiguous row blocks then carry wildly different
+/// non-zero counts — the worst case for a blocked row distribution, where
+/// one color dominates the launch (the load-balance scenario intra-color
+/// splitting targets).
+pub fn rmat_clustered(scale: u32, nnz: usize, alpha: f64, seed: u64) -> SpTensor {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let a = 0.25 + 0.45 * alpha;
+    let b = 0.25 - 0.1 * alpha;
+    rmat_impl(scale, nnz, a, b, b, seed, false)
 }
 
 /// A matrix with uniformly dense rows of the given degree (models
@@ -262,6 +283,32 @@ mod tests {
     fn deterministic_by_seed() {
         assert_eq!(rmat_default(8, 1000, 7), rmat_default(8, 1000, 7));
         assert_ne!(rmat_default(8, 1000, 7), rmat_default(8, 1000, 8));
+    }
+
+    #[test]
+    fn rmat_clustered_has_dominant_row_blocks() {
+        let t = rmat_clustered(10, 8000, 0.9, 3);
+        let n = t.dims()[0];
+        let block = n / 8;
+        let block_nnz: Vec<usize> = (0..8)
+            .map(|b| (b * block..(b + 1) * block).map(|i| t.row_nnz(i)).sum())
+            .collect();
+        let max = *block_nnz.iter().max().unwrap();
+        let mean = block_nnz.iter().sum::<usize>() as f64 / 8.0;
+        // Hubs cluster at low indices: one contiguous row block dominates.
+        assert_eq!(max, block_nnz[0], "hubs must cluster at low rows");
+        assert!(
+            max as f64 > 2.5 * mean,
+            "expected a dominant block, max={max} mean={mean}"
+        );
+        // alpha = 0 degenerates to (shuffle-free) uniform quadrants.
+        let flat = rmat_clustered(10, 8000, 0.0, 3);
+        let flat_blocks: Vec<usize> = (0..8)
+            .map(|b| (b * block..(b + 1) * block).map(|i| flat.row_nnz(i)).sum())
+            .collect();
+        let fmax = *flat_blocks.iter().max().unwrap() as f64;
+        let fmean = flat_blocks.iter().sum::<usize>() as f64 / 8.0;
+        assert!(fmax < 1.5 * fmean, "alpha=0 must stay balanced");
     }
 
     #[test]

@@ -96,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(k) => Some(
             args.get(k + 1)
                 .and_then(|n| n.parse::<usize>().ok())
-                .unwrap_or(0), // 0 = ask the OS for available parallelism
+                .unwrap_or(0), // Parallel(0): auto-detect, see the ExecMode docs
         ),
         None => {
             if let Some(unknown) = args.first() {

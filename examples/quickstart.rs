@@ -3,33 +3,62 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- --parallel [N_THREADS]
+//! cargo run --release --example quickstart -- --skew 0.9 --parallel
 //! ```
 //!
-//! With `--parallel`, the leaf kernels additionally run on the
-//! dependence-driven work-stealing executor and the example reports real
-//! wall-clock time for both modes (the simulated time is identical by
-//! construction: the executor never feeds back into the cost model).
+//! With `--parallel`, the same plan additionally runs through a deferred
+//! [`Session`] on the dependence-driven work-stealing executor, and the
+//! example reports real wall-clock time for both modes (the simulated time
+//! is identical by construction: the executor never feeds back into the
+//! cost model). `N_THREADS` defaults to 0 — see [`ExecMode::Parallel`] for
+//! the auto-detect and clamping policy.
+//!
+//! With `--skew <alpha>`, the banded matrix is replaced by a *clustered*
+//! R-MAT input (`generate::rmat_clustered`): hub rows concentrate at low
+//! indices, so the blocked row distribution hands one color most of the
+//! non-zeros. That is the load-balance scenario where two-level execution
+//! pays off — the executor splits the dominant color into spans idle
+//! workers steal, instead of idling behind it.
 
 use spdistal_repro::sparse::{dense_vector, generate, reference};
 use spdistal_repro::spdistal::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Optional: `--parallel [N]` exercises the parallel executor.
+    // Optional flags: `--parallel [N]`, `--skew <alpha>`.
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let parallel_threads = match args.iter().position(|a| a == "--parallel") {
-        Some(k) => Some(
-            args.get(k + 1)
-                .and_then(|n| n.parse::<usize>().ok())
-                .unwrap_or(0), // 0 = ask the OS for available parallelism
-        ),
-        None => {
-            if let Some(unknown) = args.first() {
-                eprintln!("unknown argument '{unknown}' (supported: --parallel [N])");
+    let mut parallel_threads: Option<usize> = None;
+    let mut skew: Option<f64> = None;
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--parallel" => {
+                // Bare `--parallel` means Parallel(0): auto-detect, see
+                // the ExecMode::Parallel docs for the policy.
+                match args.get(k + 1).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => {
+                        parallel_threads = Some(n);
+                        k += 1;
+                    }
+                    None => parallel_threads = Some(0),
+                }
+            }
+            "--skew" => {
+                let alpha = args
+                    .get(k + 1)
+                    .and_then(|a| a.parse::<f64>().ok())
+                    .ok_or("--skew needs an <alpha> in [0, 1]")?;
+                skew = Some(alpha);
+                k += 1;
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument '{unknown}' (supported: --parallel [N], --skew <alpha>)"
+                );
                 std::process::exit(2);
             }
-            None
         }
-    };
+        k += 1;
+    }
 
     // Param pieces, n, m;  Machine M(Grid(pieces));
     let pieces = 4;
@@ -43,9 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let repl_dense = Format::replicated_dense_vec(); // {Dense},  x -> y M
     let blocked_csr = Format::blocked_csr(); //      {Dense, Compressed}, xy -> x M
 
-    // Create our tensors using the defined formats (lines 18-22).
-    let (n, m) = (10_000, 10_000);
-    let b_data = generate::banded(n, 11, 42);
+    // Create our tensors using the defined formats (lines 18-22). The
+    // default input is the banded weak-scaling matrix; `--skew` swaps in
+    // the hub-clustered R-MAT whose row blocks are badly imbalanced.
+    let b_data = match skew {
+        Some(alpha) => generate::rmat_clustered(13, 120_000, alpha, 42),
+        None => generate::banded(10_000, 11, 42),
+    };
+    let (n, m) = (b_data.dims()[0], b_data.dims()[1]);
     let c_data = generate::dense_vec(m, 7);
     ctx.add_tensor("a", dense_vector(vec![0.0; n]), blocked_dense)?;
     ctx.add_tensor("B", b_data.clone(), blocked_csr)?;
@@ -80,7 +114,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let got = result.output.as_tensor().expect("dense vector output");
     assert!(reference::approx_eq(got.vals(), &expect, 1e-12));
 
-    println!("distributed SpMV on {pieces} simulated nodes");
+    match skew {
+        Some(alpha) => println!(
+            "distributed SpMV on {pieces} simulated nodes \
+             (clustered R-MAT, alpha {alpha}, row-block imbalance {:.2}x)",
+            plan.inputs[0].part.vals.imbalance()
+        ),
+        None => println!("distributed SpMV on {pieces} simulated nodes"),
+    }
     println!("  simulated time : {:.3} ms", result.time * 1e3);
     println!(
         "  communication  : {} bytes in {} messages",
@@ -93,11 +134,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  result matches the serial reference ✔");
 
-    // With --parallel: the same plan on the work-stealing executor. The
-    // output is bit-identical; only real wall-clock changes.
+    // With --parallel: the same plan, deferred through a Session onto the
+    // work-stealing executor. Auto split policy chunks dominant colors
+    // into spans (two-level execution); the output is bit-identical and
+    // only real wall-clock changes.
     if let Some(threads) = parallel_threads {
-        let mode = ExecMode::Parallel(threads);
-        let par = ctx.run_with_mode(&plan, mode)?;
+        ctx.set_exec_mode(ExecMode::Parallel(threads));
+        let par = {
+            let mut session = Session::new(&mut ctx);
+            let future = session.submit(&plan);
+            session.wait(&future)?.clone()
+        };
         let par_out = par.output.as_tensor().expect("dense vector output");
         assert!(
             got.vals()
@@ -106,7 +153,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .all(|(a, b)| a.to_bits() == b.to_bits()),
             "parallel output must be bit-identical to serial"
         );
-        println!("parallel executor ({} threads)", par.sched.threads);
+        println!(
+            "parallel executor ({} threads, two-level: {} spans over {} colors)",
+            par.sched.threads, par.sched.spans, par.sched.tasks
+        );
         println!(
             "  parallel compute : {:.3} ms wall-clock",
             par.wall_time * 1e3
@@ -115,7 +165,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  task graph       : {} tasks, {} edges, critical path {}",
             par.sched.tasks, par.sched.edges, par.sched.critical_path
         );
+        println!(
+            "  split colors     : {} (SplitPolicy::Auto)",
+            par.sched.split_tasks
+        );
         println!("  steals           : {}", par.sched.steals);
+        println!(
+            "  critical color   : {:.3} ms measured ({:.2}x the balanced share)",
+            par.sched.critical_task_seconds * 1e3,
+            par.sched.task_skew()
+        );
         println!(
             "  speedup          : {:.2}x over serial compute",
             result.wall_time / par.wall_time.max(1e-12)

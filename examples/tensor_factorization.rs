@@ -15,7 +15,15 @@
 //! ```text
 //! cargo run --release --example tensor_factorization
 //! cargo run --release --example tensor_factorization -- --pipeline [N_THREADS]
+//! cargo run --release --example tensor_factorization -- --skew 1.2 --pipeline
 //! ```
+//!
+//! `--skew <alpha>` sets the Zipf exponent of the tensor's mode-0 slice
+//! sizes (`generate::tensor3_skewed`; default 0.8). High alpha concentrates
+//! the non-zeros in a few slices, so the blocked distribution hands one
+//! color most of the work — the case where the executor's intra-color
+//! splitting (spans of the dominant color, stolen by idle workers) shows
+//! up directly in the pipelined wall-clock.
 
 use spdistal_repro::sparse::convert::permuted;
 use spdistal_repro::sparse::{dense_matrix, generate, reference};
@@ -27,10 +35,12 @@ const RANK: usize = 16;
 const DIMS: [usize; 3] = [600, 400, 500];
 const NNZ: usize = 200_000;
 const SWEEPS: usize = 3;
+const DEFAULT_ALPHA: f64 = 0.8;
 
-/// Build the context plus the three mode-update plans.
-fn build() -> Result<(Context, [Plan; 3]), Box<dyn std::error::Error>> {
-    let b = generate::tensor3_skewed(DIMS, NNZ, 0.8, 11);
+/// Build the context plus the three mode-update plans. `alpha` is the
+/// slice-size Zipf exponent of the input tensor.
+fn build(alpha: f64) -> Result<(Context, [Plan; 3]), Box<dyn std::error::Error>> {
+    let b = generate::tensor3_skewed(DIMS, NNZ, alpha, 11);
     let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
     ctx.add_tensor("B0", b.clone(), Format::blocked_csf3())?;
     ctx.add_tensor(
@@ -87,10 +97,11 @@ fn build() -> Result<(Context, [Plan; 3]), Box<dyn std::error::Error>> {
 #[allow(clippy::type_complexity)]
 fn run(
     mode: ExecMode,
+    alpha: f64,
     pipelined: bool,
     verify: bool,
 ) -> Result<(Vec<Vec<f64>>, f64, usize), Box<dyn std::error::Error>> {
-    let (mut ctx, plans) = build()?;
+    let (mut ctx, plans) = build(alpha)?;
     ctx.set_exec_mode(mode);
     let mut session = Session::new(&mut ctx);
     let mut wall = 0.0;
@@ -175,26 +186,45 @@ fn run(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let pipeline_threads = match args.iter().position(|a| a == "--pipeline") {
-        Some(k) => Some(
-            args.get(k + 1)
-                .and_then(|n| n.parse::<usize>().ok())
-                .unwrap_or(0), // 0 = ask the OS for available parallelism
-        ),
-        None => {
-            if let Some(unknown) = args.first() {
-                eprintln!("unknown argument '{unknown}' (supported: --pipeline [N])");
+    let mut pipeline_threads: Option<usize> = None;
+    let mut alpha = DEFAULT_ALPHA;
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--pipeline" => {
+                // Bare `--pipeline` means Parallel(0): auto-detect, see
+                // the ExecMode::Parallel docs for the policy.
+                match args.get(k + 1).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => {
+                        pipeline_threads = Some(n);
+                        k += 1;
+                    }
+                    None => pipeline_threads = Some(0),
+                }
+            }
+            "--skew" => {
+                alpha = args
+                    .get(k + 1)
+                    .and_then(|a| a.parse::<f64>().ok())
+                    .ok_or("--skew needs a Zipf exponent, e.g. --skew 1.2")?;
+                k += 1;
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument '{unknown}' (supported: --pipeline [N], --skew <alpha>)"
+                );
                 std::process::exit(2);
             }
-            None
         }
-    };
+        k += 1;
+    }
 
     println!(
-        "CP-ALS (Jacobi) on a {DIMS:?} tensor, rank {RANK}, {PIECES} nodes, {SWEEPS} sweeps:\
+        "CP-ALS (Jacobi) on a {DIMS:?} tensor (slice skew alpha {alpha}), rank {RANK}, \
+         {PIECES} nodes, {SWEEPS} sweeps:\
          \n  3 independent SpMTTKRP mode updates per sweep, deferred via Session"
     );
-    let (serial_factors, serial_wall, serial_batches) = run(ExecMode::Serial, false, true)?;
+    let (serial_factors, serial_wall, serial_batches) = run(ExecMode::Serial, alpha, false, true)?;
     println!(
         "serial launch-at-a-time: compute {:8.3} ms wall-clock \
          ({serial_batches} batches, all modes verified)",
@@ -203,8 +233,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(threads) = pipeline_threads {
         let mode = ExecMode::Parallel(threads);
-        let (lat_factors, lat_wall, _) = run(mode, false, false)?;
-        let (pipe_factors, pipe_wall, pipe_batches) = run(mode, true, false)?;
+        let (lat_factors, lat_wall, _) = run(mode, alpha, false, false)?;
+        let (pipe_factors, pipe_wall, pipe_batches) = run(mode, alpha, true, false)?;
         for factors in [&lat_factors, &pipe_factors] {
             assert_eq!(serial_factors.len(), factors.len());
             for (s, p) in serial_factors.iter().zip(factors.iter()) {

@@ -3,6 +3,12 @@
 //! `OutputValue`s to `ExecMode::Serial` — conflicting point tasks are
 //! serialized in color order by the dependence graph, reductions combine
 //! in color order, and disjoint writers touch disjoint elements.
+//!
+//! The same contract covers **intra-color splitting**: chunking a color's
+//! leaf kernel into spans (`SplitPolicy`) must be invisible in the output
+//! and in simulated time, under Serial and Parallel execution alike —
+//! spans write disjoint output elements and per-color op counts are exact
+//! span sums.
 
 use spdistal_repro::sparse::{dense_matrix, dense_vector, generate};
 use spdistal_repro::spdistal::prelude::*;
@@ -30,10 +36,13 @@ fn assert_bit_identical(kernel: &str, serial: &OutputValue, parallel: &OutputVal
     }
 }
 
-/// Build a fresh context, run one kernel under `mode`, return the result.
-fn run_kernel(kernel: &str, mode: ExecMode, nodes: usize) -> ExecResult {
-    let mut ctx =
-        Context::new(Machine::grid1d(nodes, MachineProfile::lassen_cpu())).with_exec_mode(mode);
+/// Build a fresh context, run one kernel under `mode` and `split`, return
+/// the result. (`SplitPolicy::Auto` is the context default: parallel runs
+/// split their dominant colors on their own.)
+fn run_kernel(kernel: &str, mode: ExecMode, nodes: usize, split: SplitPolicy) -> ExecResult {
+    let mut ctx = Context::new(Machine::grid1d(nodes, MachineProfile::lassen_cpu()))
+        .with_exec_mode(mode)
+        .with_split_policy(split);
     let (stmt, sched) = match kernel {
         "spmv_row" | "spmv_nonzero" => {
             let b = generate::rmat_default(8, 3000, 21);
@@ -211,9 +220,10 @@ const KERNELS: [&str; 8] = [
 #[test]
 fn parallel_is_bit_identical_to_serial_on_every_kernel() {
     for kernel in KERNELS {
-        let serial = run_kernel(kernel, ExecMode::Serial, 6);
+        let serial = run_kernel(kernel, ExecMode::Serial, 6, SplitPolicy::Auto);
         for threads in [2usize, 4, 8] {
-            let parallel = run_kernel(kernel, ExecMode::Parallel(threads), 6);
+            // Auto is the default: parallel runs split on their own.
+            let parallel = run_kernel(kernel, ExecMode::Parallel(threads), 6, SplitPolicy::Auto);
             assert_bit_identical(kernel, &serial.output, &parallel.output);
             // Simulated time is the cost model and must not depend on the
             // real executor at all.
@@ -225,22 +235,58 @@ fn parallel_is_bit_identical_to_serial_on_every_kernel() {
     }
 }
 
+/// Splitting a color's leaf kernel into spans is invisible: forcing spans
+/// (`SplitPolicy::Spans`) under Serial and Parallel execution reproduces
+/// the unsplit serial output bit-for-bit, and simulated time stays put.
+#[test]
+fn split_is_bit_identical_to_unsplit_on_every_kernel() {
+    for kernel in KERNELS {
+        let reference = run_kernel(kernel, ExecMode::Serial, 6, SplitPolicy::Off);
+        for (mode, split) in [
+            (ExecMode::Serial, SplitPolicy::Spans(3)),
+            (ExecMode::Parallel(2), SplitPolicy::Spans(5)),
+            (ExecMode::Parallel(4), SplitPolicy::Spans(3)),
+        ] {
+            let split_run = run_kernel(kernel, mode, 6, split);
+            assert_bit_identical(kernel, &reference.output, &split_run.output);
+            assert_eq!(
+                reference.time, split_run.time,
+                "{kernel}: simulated time must not depend on splitting"
+            );
+            assert!(
+                split_run.sched.spans > split_run.sched.tasks,
+                "{kernel}: forcing spans must actually split some color \
+                 ({} spans over {} tasks)",
+                split_run.sched.spans,
+                split_run.sched.tasks
+            );
+        }
+    }
+}
+
 #[test]
 fn executor_report_reflects_launch_shape() {
     let nodes = 6;
-    let serial = run_kernel("spmm", ExecMode::Serial, nodes);
+    let serial = run_kernel("spmm", ExecMode::Serial, nodes, SplitPolicy::Auto);
     assert_eq!(serial.sched.tasks, nodes);
     assert_eq!(serial.sched.threads, 1);
     assert_eq!(serial.sched.steals, 0);
+    // Serial + Auto never splits: one span per color.
+    assert_eq!(serial.sched.spans, nodes);
+    assert_eq!(serial.sched.split_tasks, 0);
     assert!(serial.wall_time > 0.0);
+    assert!(serial.sched.critical_task_seconds > 0.0);
+    assert!(serial.sched.critical_task_seconds <= serial.sched.busy_seconds);
 
-    let parallel = run_kernel("spmm", ExecMode::Parallel(3), nodes);
+    let parallel = run_kernel("spmm", ExecMode::Parallel(3), nodes, SplitPolicy::Auto);
     assert_eq!(parallel.sched.tasks, nodes);
     assert_eq!(parallel.sched.threads, 3);
     assert!(parallel.wall_time > 0.0);
     // Row-blocked SpMM point tasks are independent: no dependence edges.
     assert_eq!(parallel.sched.edges, 0);
     assert_eq!(parallel.sched.critical_path, 1);
+    // Auto under parallel splits colors into spans the pool can steal.
+    assert!(parallel.sched.spans >= parallel.sched.tasks);
 }
 
 #[test]

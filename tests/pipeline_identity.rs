@@ -215,9 +215,17 @@ fn check_program(label: &str, make: fn() -> Program) {
         .map(|n| ctx.tensor(n).unwrap().data.clone())
         .collect();
 
-    for threads in [2usize, 4] {
+    // Auto splitting is the default; forcing spans additionally covers
+    // pipelined split execution at both thread counts.
+    for (threads, split) in [
+        (2usize, SplitPolicy::Auto),
+        (2, SplitPolicy::Spans(3)),
+        (4, SplitPolicy::Auto),
+        (4, SplitPolicy::Spans(3)),
+    ] {
         let Program { mut ctx, plans, .. } = make();
         ctx.set_exec_mode(ExecMode::Parallel(threads));
+        ctx.set_split_policy(split);
         let mut session = Session::new(&mut ctx);
         let futures: Vec<TensorFuture> = plans.iter().map(|p| session.submit(p)).collect();
         let report = session.flush().unwrap();
