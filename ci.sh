@@ -28,6 +28,12 @@ cargo bench -p spdistal-bench --bench pipeline_exec
 echo "==> bench smoke: skewed_exec (split vs unsplit on skewed inputs)"
 cargo bench -p spdistal-bench --bench skewed_exec
 
+echo "==> bench smoke: model_pipeline (modeled sequential vs graph-ordered CP-ALS)"
+# Must emit 'modeled_overlap=<r>' for perf trajectory files.
+model_out="$(cargo bench -p spdistal-bench --bench model_pipeline)"
+echo "$model_out"
+grep "^modeled_overlap=" <<<"$model_out"
+
 echo "==> bench smoke: fig10 strong scaling (small scale)"
 SPDISTAL_SCALE=0.05 cargo run --release -q -p spdistal-bench --bin fig10_cpu_strong_scaling
 

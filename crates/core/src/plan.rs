@@ -74,7 +74,8 @@ use spdistal_ir::{interp, Bindings};
 use spdistal_runtime::pipeline::{LaunchDesc, LaunchTiming, Pipeline};
 use spdistal_runtime::sched::ExecReport;
 use spdistal_runtime::{
-    IntervalSet, LaunchRecord, Privilege, Rect1, RegionId, RegionReq, TaskSpec,
+    IntervalSet, LaunchId, LaunchRecord, ModelTiming, Privilege, Rect1, RegionId, RegionReq,
+    TaskSpec,
 };
 use spdistal_sparse::{dense_vector, CooTensor, Level, SpTensor};
 
@@ -150,7 +151,7 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
         prepared.run_point(point, span)
     });
     let (computed, ops) = prepared.finish()?;
-    finish_model(ctx, plan, computed, ops, report, timings)
+    finish_model(ctx, plan, computed, ops, report, timings, None)
 }
 
 /// Synthetic region id standing in for the output region (created only
@@ -590,6 +591,16 @@ impl<'a> PreparedPlan<'a> {
 
 /// The model phase: replay the launch(es) against the discrete-event
 /// simulator, materialize the output, and write it back into the context.
+///
+/// `model_preds` selects how the launches are issued on the simulator's
+/// pipelined model timeline: `None` is a launch-at-a-time issue (serialized
+/// behind everything previously issued), `Some(preds)` a launch-graph-
+/// ordered issue gated only on `preds` — the deferred-execution replay the
+/// `Session` drives, where `preds` are the launch-graph predecessors of
+/// this plan's compute launch plus everything the previous batch issued.
+/// The canonical per-processor clocks (hence [`ExecResult::time`]) are
+/// charged identically either way; only the modeled milestones reported in
+/// the returned timings' [`ModelTiming`] observe the dependence structure.
 pub(crate) fn finish_model(
     ctx: &mut Context,
     plan: &Plan,
@@ -597,6 +608,7 @@ pub(crate) fn finish_model(
     ops: Vec<f64>,
     sched: ExecReport,
     launches: Vec<LaunchTiming>,
+    model_preds: Option<&[LaunchId]>,
 ) -> Result<ExecResult, Error> {
     let time0 = ctx.runtime().now();
     let stats0 = (
@@ -675,25 +687,56 @@ pub(crate) fn finish_model(
             Ok(tasks)
         };
 
-    match &computed {
+    // Issue on the model timeline: launch-at-a-time (fence) or
+    // launch-graph-ordered behind `model_preds`.
+    let issue = |ctx: &mut Context,
+                 name: &str,
+                 tasks: Vec<TaskSpec>,
+                 preds: Option<&[LaunchId]>|
+     -> Result<LaunchRecord, Error> {
+        Ok(match preds {
+            None => ctx.runtime_mut().index_launch(name, tasks)?,
+            Some(p) => ctx.runtime_mut().index_launch_after(name, tasks, p)?,
+        })
+    };
+    let issued: Vec<LaunchRecord> = match &computed {
         Computed::Assembled {
             symbolic_ops,
             numeric_ops,
             ..
         } => {
             // Two-phase assembly: symbolic pass discovers the pattern,
-            // numeric pass writes values (Chou et al., Section V-B).
+            // numeric pass writes values (Chou et al., Section V-B). The
+            // numeric pass always chains behind the symbolic one.
             let t1 = mk_tasks(ctx, symbolic_ops, false)?;
-            ctx.runtime_mut()
-                .index_launch(&format!("{}:symbolic", plan.name), t1)?;
+            let sym = issue(ctx, &format!("{}:symbolic", plan.name), t1, model_preds)?;
             let t2 = mk_tasks(ctx, numeric_ops, true)?;
-            ctx.runtime_mut()
-                .index_launch(&format!("{}:numeric", plan.name), t2)?;
+            let num_preds = [sym.id];
+            let num = issue(
+                ctx,
+                &format!("{}:numeric", plan.name),
+                t2,
+                model_preds.is_some().then_some(&num_preds[..]),
+            )?;
+            vec![sym, num]
         }
         _ => {
             let tasks = mk_tasks(ctx, &ops, true)?;
-            ctx.runtime_mut().index_launch(&plan.name, tasks)?;
+            vec![issue(ctx, &plan.name, tasks, model_preds)?]
         }
+    };
+    // Fold the issued launches' modeled milestones into this plan's
+    // timing(s): one window from first issue to last finish, sequential
+    // spans summed (two-phase launches chain, so their spans tile).
+    let model = ModelTiming {
+        issue: issued.first().map_or(0.0, |r| r.model.issue),
+        start: issued.first().map_or(0.0, |r| r.model.start),
+        finish: issued.last().map_or(0.0, |r| r.model.finish),
+        seq_span: issued.iter().map(|r| r.model.seq_span).sum(),
+    };
+    let mut launches = launches;
+    for t in &mut launches {
+        t.model = model.clone();
     }
 
     // --- write back ------------------------------------------------------

@@ -22,6 +22,33 @@
 //! The model reports *simulated* time; the real kernels execute separately
 //! (in crate `spdistal`) for correctness, and their operation counts feed
 //! [`crate::task::TaskSpec::ops`].
+//!
+//! ## Launch-graph-ordered replay
+//!
+//! The per-processor clocks above are the *canonical* timeline: they decide
+//! [`Runtime::now`] and every launch's incremental simulated time, and they
+//! are deliberately left exactly as launch-at-a-time replay charges them, so
+//! a program's modeled time never depends on how its launches were driven.
+//!
+//! On top of that, the runtime keeps a second, **pipelined** timeline that
+//! models Legion's deferred execution at launch granularity. Every launch is
+//! issued against it with an explicit predecessor set:
+//!
+//! * [`Runtime::index_launch_after`] — the deferred issue: each task starts
+//!   at `max(pred finish times, processor availability)`, so launches no
+//!   data dependence orders overlap (coupled only by processor contention),
+//!   while dependent launches pipeline behind their predecessors' finish.
+//! * [`Runtime::index_launch`] — the launch-at-a-time issue: equivalent to
+//!   naming *every* previously issued launch as a predecessor (a global
+//!   serialization point), which is what non-deferred replay means.
+//!
+//! Each launch's [`ModelTiming`] records its modeled issue/start/finish on
+//! the pipelined timeline plus its `seq_span` — the makespan the launch
+//! would have from a globally synchronized start, i.e. what launch-at-a-time
+//! replay charges for it. `sum(seq_span) / (graph-ordered makespan)` is the
+//! modeled-overlap ratio deferred execution buys: 1 for a dependence chain
+//! (every launch gates on its predecessor, so spans tile), > 1 when
+//! independent launches with different critical processors overlap.
 
 use std::collections::HashMap;
 
@@ -51,6 +78,9 @@ pub enum RuntimeError {
     },
     /// A task named a processor outside the machine grid.
     BadProc { proc: usize, num_procs: usize },
+    /// A predecessor [`LaunchId`] this runtime never issued (e.g. an id
+    /// taken from a different [`Runtime`] instance).
+    UnknownLaunch { launch: usize, issued: usize },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -69,6 +99,12 @@ impl std::fmt::Display for RuntimeError {
             ),
             RuntimeError::BadProc { proc, num_procs } => {
                 write!(f, "task mapped to proc {proc} of {num_procs}")
+            }
+            RuntimeError::UnknownLaunch { launch, issued } => {
+                write!(
+                    f,
+                    "predecessor launch {launch} was never issued here ({issued} launches known)"
+                )
             }
         }
     }
@@ -102,6 +138,45 @@ pub struct LaunchRecord {
     pub messages: u64,
     /// Simulated makespan (max processor clock) after the launch completed.
     pub clock_after: f64,
+    /// Identity of this launch on the pipelined model timeline; later
+    /// launches may name it as a predecessor in
+    /// [`Runtime::index_launch_after`].
+    pub id: LaunchId,
+    /// Modeled milestones on the pipelined (launch-graph-ordered) timeline.
+    pub model: ModelTiming,
+}
+
+/// Handle to an issued launch, usable as a predecessor for later launches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LaunchId(pub(crate) usize);
+
+/// Modeled milestones of one launch on the pipelined timeline (simulated
+/// seconds on the runtime's model clock).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ModelTiming {
+    /// When the launch became eligible: the max of its predecessors' modeled
+    /// finish times (for [`Runtime::index_launch`], the finish of every
+    /// launch issued before it).
+    pub issue: f64,
+    /// When its first task started (`>= issue`; later when the task's
+    /// processor was still busy with an earlier launch).
+    pub start: f64,
+    /// When its last task (and any reduction combine) completed.
+    pub finish: f64,
+    /// The launch's *sequential* span: its makespan from a globally
+    /// synchronized start — per-processor serialized task time, with any
+    /// reduction combine replayed as the rendezvous it is — i.e. what
+    /// launch-at-a-time replay charges for this launch. Summing `seq_span`
+    /// over launches gives the sequential modeled total the graph-ordered
+    /// makespan is compared against.
+    pub seq_span: f64,
+}
+
+impl ModelTiming {
+    /// The launch's modeled active window on the pipelined timeline.
+    pub fn span(&self) -> f64 {
+        (self.finish - self.start).max(0.0)
+    }
 }
 
 /// Where a region's data is initially valid at no modeled cost (data staged
@@ -118,8 +193,20 @@ pub struct Runtime {
     sys_valid: Vec<IntervalSet>,
     /// Resident bytes per processor memory.
     resident: Vec<u64>,
-    /// Per-processor simulated clock (seconds).
+    /// Per-processor simulated clock (seconds) — the canonical timeline.
     proc_ready: Vec<f64>,
+    /// Per-processor clock on the pipelined (launch-graph-ordered) model
+    /// timeline. Advances with the same per-task durations as `proc_ready`
+    /// but gates each launch's tasks behind its predecessors' finishes
+    /// instead of behind everything previously issued.
+    model_ready: Vec<f64>,
+    /// Modeled finish time of every issued launch, indexed by [`LaunchId`].
+    model_finishes: Vec<f64>,
+    /// Max modeled finish over all issued launches: the global serialization
+    /// point plain [`Runtime::index_launch`] gates behind.
+    model_fence: f64,
+    /// The launch holding that fence (None before any launch was issued).
+    fence_launch: Option<LaunchId>,
     stats: RunStats,
 }
 
@@ -133,6 +220,10 @@ impl Runtime {
             sys_valid: Vec::new(),
             resident: vec![0; p],
             proc_ready: vec![0.0; p],
+            model_ready: vec![0.0; p],
+            model_finishes: Vec::new(),
+            model_fence: 0.0,
+            fence_launch: None,
             stats: RunStats::default(),
         }
     }
@@ -218,30 +309,110 @@ impl Runtime {
         self.proc_ready[p]
     }
 
+    /// Current time on the pipelined model timeline: the max over all
+    /// processors' model clocks.
+    pub fn model_now(&self) -> f64 {
+        self.model_ready.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Modeled finish time of an issued launch on the pipelined timeline
+    /// (`None` for a [`LaunchId`] this runtime never issued).
+    pub fn model_finish(&self, id: LaunchId) -> Option<f64> {
+        self.model_finishes.get(id.0).copied()
+    }
+
+    /// The launch holding the current model fence (the max modeled finish),
+    /// if anything was issued yet. Deferred drivers starting a fresh launch
+    /// graph on a used runtime gate their first launches behind it, so
+    /// their modeled windows begin after everything already issued.
+    pub fn model_fence_launch(&self) -> Option<LaunchId> {
+        self.fence_launch
+    }
+
     pub fn stats(&self) -> &RunStats {
         &self.stats
     }
 
     /// Synchronize all processors (MPI-style collective). SpDISTAL's
     /// deferred-execution path never calls this; bulk-synchronous baselines
-    /// call it between phases. Charges a log-depth collective latency.
+    /// call it between phases. Charges a log-depth collective latency; a
+    /// single-processor machine has no peers to synchronize with, so its
+    /// barrier is free.
     pub fn barrier(&mut self) {
-        let max = self.now();
         let p = self.machine.num_procs();
-        let depth = (p.max(2) as f64).log2().ceil();
-        let t = max + depth * self.machine.profile().inter_link.latency;
+        if p <= 1 {
+            return;
+        }
+        let depth = (p as f64).log2().ceil();
+        let latency = depth * self.machine.profile().inter_link.latency;
+        let t = self.now() + latency;
         for c in self.proc_ready.iter_mut() {
             *c = t;
         }
+        // The pipelined timeline observes the same collective, recorded as
+        // a synthetic fence entry so gating behind `model_fence_launch`
+        // (e.g. a Session opened after the barrier) waits for the barrier
+        // itself, not just the last pre-barrier launch.
+        let mt = self.model_now() + latency;
+        for c in self.model_ready.iter_mut() {
+            *c = mt;
+        }
+        let id = LaunchId(self.model_finishes.len());
+        self.model_finishes.push(mt);
+        self.model_fence = self.model_fence.max(mt);
+        self.fence_launch = Some(id);
     }
 
-    /// Execute one index launch: all `tasks` run concurrently (subject to
-    /// per-processor serialization), each first paying for the communication
-    /// its region requirements imply.
+    /// Execute one index launch, serialized behind *everything* issued
+    /// before it on the pipelined model timeline (a launch-at-a-time
+    /// issue). All `tasks` run concurrently (subject to per-processor
+    /// serialization), each first paying for the communication its region
+    /// requirements imply.
     pub fn index_launch(
         &mut self,
         name: &str,
         tasks: Vec<TaskSpec>,
+    ) -> Result<LaunchRecord, RuntimeError> {
+        let fence = self.model_fence;
+        self.launch_impl(name, tasks, fence)
+    }
+
+    /// Execute one index launch in **launch-graph order**: its tasks start
+    /// at `max(predecessor finish times, processor availability)` on the
+    /// pipelined model timeline, so launches none of `preds` orders overlap.
+    /// The canonical per-processor clocks (and hence [`Runtime::now`] and
+    /// every incremental launch time) are charged exactly as
+    /// [`Runtime::index_launch`] would — only the pipelined timeline and
+    /// the returned [`ModelTiming`] observe the dependence structure.
+    ///
+    /// An empty `preds` set means the launch is ready at time zero of the
+    /// model timeline (it still waits for its processors).
+    pub fn index_launch_after(
+        &mut self,
+        name: &str,
+        tasks: Vec<TaskSpec>,
+        preds: &[LaunchId],
+    ) -> Result<LaunchRecord, RuntimeError> {
+        let mut issue = 0.0f64;
+        for id in preds {
+            let finish = self.model_finishes.get(id.0).copied().ok_or({
+                RuntimeError::UnknownLaunch {
+                    launch: id.0,
+                    issued: self.model_finishes.len(),
+                }
+            })?;
+            issue = issue.max(finish);
+        }
+        self.launch_impl(name, tasks, issue)
+    }
+
+    /// Shared launch body: `issue` is the launch's eligibility time on the
+    /// pipelined model timeline.
+    fn launch_impl(
+        &mut self,
+        name: &str,
+        tasks: Vec<TaskSpec>,
+        issue: f64,
     ) -> Result<LaunchRecord, RuntimeError> {
         let bytes_before = self.stats.comm_bytes;
         let msgs_before = self.stats.messages;
@@ -252,6 +423,13 @@ impl Runtime {
         // Deferred write invalidations (applied after all comm is costed, so
         // sibling tasks in this launch can still source reads from old copies).
         let mut writes: Vec<(RegionId, usize, IntervalSet)> = Vec::new();
+
+        // Pipelined-timeline bookkeeping: first task start, last completion,
+        // and the per-processor serialized load a synchronized start would
+        // observe (the launch's sequential span).
+        let mut model_start = f64::INFINITY;
+        let mut model_finish = issue;
+        let mut seq_load = vec![0.0f64; self.machine.num_procs()];
 
         for task in &tasks {
             self.check_proc(task.proc)?;
@@ -279,7 +457,14 @@ impl Runtime {
             }
             let prof = &self.machine.profile().proc;
             let compute = prof.task_overhead + task.ops / prof.throughput;
-            self.proc_ready[p] += comm_time + compute;
+            let dur = comm_time + compute;
+            self.proc_ready[p] += dur;
+            // Pipelined timeline: wait for predecessors, then the processor.
+            let start = self.model_ready[p].max(issue);
+            self.model_ready[p] = start + dur;
+            model_start = model_start.min(start);
+            model_finish = model_finish.max(start + dur);
+            seq_load[p] += dur;
             self.stats.total_ops += task.ops;
             self.stats.tasks += 1;
         }
@@ -301,9 +486,32 @@ impl Runtime {
         }
 
         // Combine reduction partials: elements produced by more than one
-        // task must be exchanged and summed.
+        // task must be exchanged and summed. The combine is replayed
+        // against `seq_load` too (rendezvous of the contributors'
+        // synchronized-start loads), so `seq_span` stays exactly the
+        // launch's standalone makespan — the combine overlaps a busier
+        // non-contributing processor instead of extending it serially.
         for (r, contribs) in reduces {
-            self.combine_reductions(r, contribs);
+            let model_end = self.combine_reductions(r, contribs, &mut seq_load);
+            model_finish = model_finish.max(model_end);
+        }
+        let seq_span = seq_load.iter().copied().fold(0.0, f64::max);
+
+        let model = ModelTiming {
+            issue,
+            start: if model_start.is_finite() {
+                model_start
+            } else {
+                issue
+            },
+            finish: model_finish,
+            seq_span,
+        };
+        let id = LaunchId(self.model_finishes.len());
+        self.model_finishes.push(model.finish);
+        if model.finish >= self.model_fence {
+            self.model_fence = model.finish;
+            self.fence_launch = Some(id);
         }
 
         self.stats.launches += 1;
@@ -313,6 +521,8 @@ impl Runtime {
             comm_bytes: self.stats.comm_bytes - bytes_before,
             messages: self.stats.messages - msgs_before,
             clock_after: self.now(),
+            id,
+            model,
         };
         self.stats.records.push(rec.clone());
         Ok(rec)
@@ -391,14 +601,23 @@ impl Runtime {
 
     /// Model the combine phase for reduction privileges: the elements
     /// assigned to multiple contributors (aliased partials) are exchanged
-    /// over the interconnect and summed in a log-depth tree.
-    fn combine_reductions(&mut self, r: RegionId, contribs: Vec<(usize, IntervalSet)>) {
+    /// over the interconnect and summed in a log-depth tree. The rendezvous
+    /// is charged on all three clock sets — the canonical clocks, the
+    /// pipelined model clocks, and the launch's synchronized-start loads in
+    /// `seq_load` — and the combine's completion time on the pipelined
+    /// timeline is returned (0.0 when nothing moves).
+    fn combine_reductions(
+        &mut self,
+        r: RegionId,
+        contribs: Vec<(usize, IntervalSet)>,
+        seq_load: &mut [f64],
+    ) -> f64 {
         if contribs.len() <= 1 {
             if let Some((p, s)) = contribs.into_iter().next() {
                 let v = &mut self.valid[r.0 as usize][p];
                 *v = v.union(&s);
             }
-            return;
+            return 0.0;
         }
         let elem_bytes = self.regions[r.0 as usize].elem_bytes;
         // Excess = total assigned − union: the replicated elements that must
@@ -410,20 +629,24 @@ impl Runtime {
             union = union.union(s);
         }
         let excess = total - union.total_len();
+        let mut model_end = 0.0;
         if excess > 0 {
             let link = self.machine.profile().inter_link;
             let k = contribs.len() as f64;
             let bytes = excess * elem_bytes;
             let t_comm = link.latency * k.log2().ceil() + bytes as f64 / link.bandwidth;
             let t_compute = excess as f64 / self.machine.profile().proc.throughput;
+            let dur = t_comm + t_compute;
             // Contributors rendezvous: reduction completes after the slowest.
-            let start = contribs
-                .iter()
-                .map(|(p, _)| self.proc_ready[*p])
-                .fold(0.0, f64::max);
-            let end = start + t_comm + t_compute;
+            let rendezvous =
+                |clocks: &[f64]| contribs.iter().map(|(p, _)| clocks[*p]).fold(0.0, f64::max) + dur;
+            let end = rendezvous(&self.proc_ready);
+            model_end = rendezvous(&self.model_ready);
+            let seq_end = rendezvous(seq_load);
             for (p, _) in &contribs {
                 self.proc_ready[*p] = end;
+                self.model_ready[*p] = model_end;
+                seq_load[*p] = seq_end;
             }
             self.stats.comm_bytes += bytes;
             self.stats.messages += contribs.len() as u64 - 1;
@@ -432,6 +655,7 @@ impl Runtime {
             let v = &mut self.valid[r.0 as usize][p];
             *v = v.union(&s);
         }
+        model_end
     }
 
     fn check_proc(&self, p: usize) -> Result<(), RuntimeError> {
@@ -611,6 +835,46 @@ mod tests {
         );
     }
 
+    /// A launch whose reduction combine finishes while a non-contributing
+    /// processor is still computing: the combine must not extend `seq_span`
+    /// serially — the sequential span is exactly the launch's standalone
+    /// makespan, so a chain of such launches still tiles to ratio 1.
+    #[test]
+    fn seq_span_is_standalone_makespan_with_reduction_combine() {
+        let mut r = rt(4);
+        let reg = r.create_region("a", 100, 8);
+        let mk = |p: usize| {
+            TaskSpec::new(p, 1.0e3).with_req(RegionReq::reduce(
+                reg,
+                IntervalSet::from_rect(Rect1::new(0, 99)),
+            ))
+        };
+        // Heavy compute on proc 0; two light aliased reducers on procs 1/2.
+        let rec = r
+            .index_launch("red", vec![TaskSpec::new(0, 5.0e8), mk(1), mk(2)])
+            .unwrap();
+        assert!(rec.comm_bytes > 0, "aliased partials must move");
+        assert!(
+            (rec.model.seq_span - (rec.model.finish - rec.model.issue)).abs() < 1e-15,
+            "seq_span {} must equal the standalone makespan {}",
+            rec.model.seq_span,
+            rec.model.finish - rec.model.issue
+        );
+    }
+
+    #[test]
+    fn foreign_launch_id_rejected() {
+        let mut a = rt(2);
+        let rec = a.index_launch("x", vec![TaskSpec::new(0, 1.0)]).unwrap();
+        // `rec.id` belongs to runtime `a`; a fresh runtime must reject it
+        // rather than index out of bounds or silently mis-gate.
+        let mut b = rt(2);
+        let err = b
+            .index_launch_after("y", vec![TaskSpec::new(0, 1.0)], &[rec.id])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownLaunch { .. }));
+    }
+
     #[test]
     fn bad_proc_rejected() {
         let mut r = rt(2);
@@ -618,6 +882,99 @@ mod tests {
             .index_launch("x", vec![TaskSpec::new(5, 0.0)])
             .unwrap_err();
         assert!(matches!(err, RuntimeError::BadProc { .. }));
+    }
+
+    #[test]
+    fn single_proc_barrier_is_free() {
+        let mut r = rt(1);
+        r.index_launch("work", vec![TaskSpec::new(0, 1.0e6)])
+            .unwrap();
+        let before = r.now();
+        r.barrier();
+        assert_eq!(r.now(), before, "a 1-proc barrier must charge nothing");
+        // Multi-proc barriers still pay the log-depth collective.
+        let mut r2 = Runtime::new(Machine::grid1d(2, MachineProfile::lassen_cpu()));
+        let rec = r2
+            .index_launch("work", vec![TaskSpec::new(0, 1.0e6)])
+            .unwrap();
+        let before2 = r2.now();
+        r2.barrier();
+        assert!(r2.now() > before2);
+        // The barrier is a fence event on the model timeline: anything
+        // gating behind the fence afterwards waits for the collective, not
+        // just the last pre-barrier launch.
+        let fence = r2.model_fence_launch().unwrap();
+        assert!(r2.model_finish(fence).unwrap() > rec.model.finish);
+        let rec2 = r2
+            .index_launch("next", vec![TaskSpec::new(1, 1.0e3)])
+            .unwrap();
+        assert!(rec2.model.issue >= r2.model_finish(fence).unwrap());
+    }
+
+    /// Two launches with opposite skew: a deferred (pred-free) issue
+    /// overlaps them on the model timeline, while plain `index_launch`
+    /// serializes behind the fence — and the canonical clocks are identical
+    /// either way.
+    #[test]
+    fn deferred_issue_overlaps_independent_launches() {
+        // proc 0 heavy in launch a, proc 1 heavy in launch b.
+        let a = vec![TaskSpec::new(0, 8.0e6), TaskSpec::new(1, 1.0e6)];
+        let b = vec![TaskSpec::new(0, 1.0e6), TaskSpec::new(1, 8.0e6)];
+
+        let mut seq = rt(2);
+        let sa = seq.index_launch("a", a.clone()).unwrap();
+        let sb = seq.index_launch("b", b.clone()).unwrap();
+        // Launch-at-a-time: spans tile, makespan == sum of seq spans.
+        assert!(sb.model.issue >= sa.model.finish);
+        let seq_sum = sa.model.seq_span + sb.model.seq_span;
+        assert!((sb.model.finish - seq_sum).abs() < 1e-12);
+
+        let mut ovl = rt(2);
+        let oa = ovl.index_launch_after("a", a, &[]).unwrap();
+        let ob = ovl.index_launch_after("b", b, &[]).unwrap();
+        // Graph-ordered: b starts while a's critical proc is still busy.
+        assert!(ob.model.start < oa.model.finish);
+        let makespan = oa.model.finish.max(ob.model.finish);
+        assert!(
+            makespan < seq_sum,
+            "independent skewed launches must overlap: {makespan} vs {seq_sum}"
+        );
+        // The canonical timeline never observes the issue order.
+        assert_eq!(seq.now(), ovl.now());
+        assert_eq!(seq.proc_clock(0), ovl.proc_clock(0));
+        assert_eq!(seq.proc_clock(1), ovl.proc_clock(1));
+    }
+
+    /// A dependence chain gates every launch at its predecessor's finish:
+    /// modeled spans tile exactly, so the graph-ordered makespan equals the
+    /// sequential sum.
+    #[test]
+    fn chained_launches_tile_exactly() {
+        let mut r = rt(2);
+        let mut prev: Option<LaunchId> = None;
+        let mut seq_sum = 0.0;
+        let mut last_finish = 0.0;
+        for (k, ops) in [(0usize, 4.0e6), (1, 2.0e6), (0, 1.0e6)].iter().enumerate() {
+            let tasks = vec![
+                TaskSpec::new(ops.0, ops.1),
+                TaskSpec::new(1 - ops.0, ops.1 / 4.0),
+            ];
+            let preds: Vec<LaunchId> = prev.into_iter().collect();
+            let rec = r
+                .index_launch_after(&format!("l{k}"), tasks, &preds)
+                .unwrap();
+            if let Some(p) = prev {
+                assert_eq!(rec.model.issue, r.model_finish(p).unwrap());
+                assert_eq!(rec.model.start, rec.model.issue, "chain gates globally");
+            }
+            seq_sum += rec.model.seq_span;
+            last_finish = rec.model.finish;
+            prev = Some(rec.id);
+        }
+        assert!(
+            (last_finish - seq_sum).abs() <= 1e-12 * seq_sum,
+            "chain must tile: makespan {last_finish} vs seq sum {seq_sum}"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod sched;
 pub mod task;
 
 pub use dependent::{image_coords, image_rects, preimage_coords, preimage_rects};
-pub use exec::{LaunchRecord, RegionMeta, RunStats, Runtime, RuntimeError};
+pub use exec::{LaunchId, LaunchRecord, ModelTiming, RegionMeta, RunStats, Runtime, RuntimeError};
 pub use geometry::{IntervalSet, Rect1};
 pub use machine::{LinkProfile, Machine, MachineProfile, ProcKind, ProcProfile};
 pub use partition::Partition;

@@ -153,6 +153,7 @@ impl Pipeline {
                     issue: 0.0,
                     start: start as f64 * 1e-9,
                     drain: drains[l].load(Ordering::Relaxed) as f64 * 1e-9,
+                    model: Default::default(),
                 }
             })
             .collect();

@@ -41,6 +41,24 @@ impl LaunchGraph {
         self.graph.successors(launch)
     }
 
+    /// The direct-predecessor sets of every launch — the edge set handed to
+    /// drivers that replay the launches elsewhere (e.g. the model phase's
+    /// graph-ordered replay through
+    /// [`Runtime::index_launch_after`](crate::Runtime::index_launch_after)).
+    /// Issue order is a topological order of the graph (edges always run
+    /// earlier → later), so replaying launches in issue order while gating
+    /// each behind `pred_sets()[launch]` realizes exactly this DAG.
+    pub fn pred_sets(&self) -> Vec<Vec<usize>> {
+        let n = self.num_launches();
+        let mut preds = vec![Vec::new(); n];
+        for a in 0..n {
+            for &b in self.successors(a) {
+                preds[b].push(a);
+            }
+        }
+        preds
+    }
+
     /// True iff a dependence path forces `earlier` to drain before `later`
     /// starts (indices in issue order, `earlier <= later`).
     pub fn serialized(&self, earlier: usize, later: usize) -> bool {

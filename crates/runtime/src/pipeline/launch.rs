@@ -105,6 +105,11 @@ impl LaunchDesc {
 /// driver leaves `issue` at 0.0 and callers that queue launches ahead of
 /// time (the `Session` API) rebase all three onto their submission epoch,
 /// so `issue <= start <= drain` always reads as one timeline.
+///
+/// `model` carries the *simulated* counterpart: the launch's modeled
+/// issue/start/finish on the runtime's pipelined (launch-graph-ordered)
+/// model timeline, plus its sequential span. The driver leaves it at the
+/// default; the plan executor's model phase fills it in.
 #[derive(Clone, Debug, Default)]
 pub struct LaunchTiming {
     pub name: String,
@@ -115,6 +120,8 @@ pub struct LaunchTiming {
     pub start: f64,
     /// When the launch's last point task completed.
     pub drain: f64,
+    /// Modeled milestones on the simulator's pipelined timeline.
+    pub model: crate::exec::ModelTiming,
 }
 
 fn privilege_key(p: Privilege) -> u8 {

@@ -20,7 +20,10 @@ use std::sync::Mutex;
 use proptest::prelude::*;
 use spdistal_runtime::pipeline::{LaunchDesc, LaunchGraph, Pipeline};
 use spdistal_runtime::sched::{reqs_conflict, ExecMode};
-use spdistal_runtime::{IntervalSet, Privilege, Rect1, RegionId, RegionReq};
+use spdistal_runtime::{
+    IntervalSet, LaunchId, Machine, MachineProfile, Privilege, Rect1, RegionId, RegionReq, Runtime,
+    TaskSpec,
+};
 
 const NUM_REGIONS: usize = 3;
 const REGION_LEN: usize = 64;
@@ -205,6 +208,80 @@ proptest! {
                 "bitwise divergence with {} threads", threads
             );
         }
+    }
+}
+
+const MODEL_PROCS: usize = 4;
+
+/// Randomized model-replay workloads: 1-6 launches of 1-4 compute tasks
+/// (proc, ops), plus a per-launch predecessor bitmask over earlier
+/// launches.
+fn arb_model_launches() -> impl Strategy<Value = Vec<(Vec<(usize, u32)>, u32)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0usize..MODEL_PROCS, 0u32..2_000_000), 1..5),
+            0u32..u32::MAX,
+        ),
+        1..7,
+    )
+}
+
+/// Replay `launches` through `index_launch_after`, wiring predecessors from
+/// each launch's bitmask (`preds_from_mask = false` forces a chain).
+/// Returns (graph-ordered makespan, sum of sequential spans, canonical
+/// `now()`).
+fn model_replay(launches: &[(Vec<(usize, u32)>, u32)], chain: bool) -> (f64, f64, f64) {
+    let mut rt = Runtime::new(Machine::grid1d(MODEL_PROCS, MachineProfile::test_profile()));
+    let mut ids: Vec<LaunchId> = Vec::new();
+    let mut seq_sum = 0.0;
+    let mut makespan = 0.0f64;
+    for (k, (tasks, mask)) in launches.iter().enumerate() {
+        let specs: Vec<TaskSpec> = tasks
+            .iter()
+            .map(|&(p, ops)| TaskSpec::new(p, ops as f64))
+            .collect();
+        let preds: Vec<LaunchId> = if chain {
+            ids.last().copied().into_iter().collect()
+        } else {
+            ids.iter()
+                .enumerate()
+                .filter(|(a, _)| mask & (1 << (a % 32)) != 0)
+                .map(|(_, id)| *id)
+                .collect()
+        };
+        let rec = rt
+            .index_launch_after(&format!("l{k}"), specs, &preds)
+            .unwrap();
+        assert!(rec.model.issue <= rec.model.start && rec.model.start <= rec.model.finish);
+        seq_sum += rec.model.seq_span;
+        makespan = makespan.max(rec.model.finish);
+        ids.push(rec.id);
+    }
+    (makespan, seq_sum, rt.now())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Graph-ordered modeled makespan never exceeds the sequential modeled
+    /// sum, a chain tiles exactly to it, and the canonical timeline is
+    /// blind to the predecessor structure.
+    #[test]
+    fn model_makespan_bounded_by_sequential_sum(launches in arb_model_launches()) {
+        let (makespan, seq_sum, now) = model_replay(&launches, false);
+        prop_assert!(
+            makespan <= seq_sum * (1.0 + 1e-12) + 1e-15,
+            "graph-ordered makespan {makespan} exceeds sequential sum {seq_sum}"
+        );
+        let (chain_span, chain_sum, chain_now) = model_replay(&launches, true);
+        prop_assert!((chain_sum - seq_sum).abs() <= 1e-12 * seq_sum.max(1.0));
+        prop_assert!(
+            (chain_span - chain_sum).abs() <= 1e-9 * chain_sum.max(1.0),
+            "a chain must tile: makespan {chain_span} vs sequential sum {chain_sum}"
+        );
+        // Canonical clocks (hence every launch's incremental simulated
+        // time) are identical whatever the dependence structure claims.
+        prop_assert_eq!(now, chain_now);
     }
 }
 

@@ -130,8 +130,20 @@ pub fn rmat_default(scale: u32, nnz: usize, seed: u64) -> SpTensor {
 /// non-zero counts — the worst case for a blocked row distribution, where
 /// one color dominates the launch (the load-balance scenario intra-color
 /// splitting targets).
+/// Degenerate inputs are guarded rather than left to misbehave: `nnz == 0`
+/// yields the empty matrix, `scale == 0` the 1×1 matrix (every sample lands
+/// on the single cell), and a skew of `alpha <= 0` — including non-finite
+/// values, which would otherwise poison every quadrant comparison — falls
+/// back to the uniform (`alpha = 0`) distribution.
 pub fn rmat_clustered(scale: u32, nnz: usize, alpha: f64, seed: u64) -> SpTensor {
-    let alpha = alpha.clamp(0.0, 1.0);
+    let alpha = if alpha.is_nan() {
+        0.0
+    } else {
+        alpha.clamp(0.0, 1.0)
+    };
+    if nnz == 0 {
+        return CooTensor::new(vec![1usize << scale, 1usize << scale]).build(&CSR);
+    }
     let a = 0.25 + 0.45 * alpha;
     let b = 0.25 - 0.1 * alpha;
     rmat_impl(scale, nnz, a, b, b, seed, false)
@@ -309,6 +321,46 @@ mod tests {
         let fmax = *flat_blocks.iter().max().unwrap() as f64;
         let fmean = flat_blocks.iter().sum::<usize>() as f64 / 8.0;
         assert!(fmax < 1.5 * fmean, "alpha=0 must stay balanced");
+    }
+
+    #[test]
+    fn rmat_clustered_degenerate_inputs_are_guarded() {
+        // 0 nonzeros: the empty matrix, whatever the other parameters.
+        let empty = rmat_clustered(8, 0, 0.9, 3);
+        assert_eq!(empty.dims(), &[256, 256]);
+        assert_eq!(empty.nnz(), 0);
+        // 1×1 dims (scale 0): every sample lands on the single cell.
+        let tiny = rmat_clustered(0, 10, 0.9, 3);
+        assert_eq!(tiny.dims(), &[1, 1]);
+        assert_eq!(tiny.nnz(), 1);
+        // Both degenerate at once.
+        let both = rmat_clustered(0, 0, 0.0, 3);
+        assert_eq!(both.dims(), &[1, 1]);
+        assert_eq!(both.nnz(), 0);
+        // Skew alpha <= 0 (and non-finite alphas) fall back to uniform:
+        // identical to the explicit alpha = 0 matrix, with no dominant
+        // block.
+        let uniform = rmat_clustered(8, 2000, 0.0, 3);
+        for bad in [-1.0, f64::NAN, f64::NEG_INFINITY] {
+            assert_eq!(rmat_clustered(8, 2000, bad, 3), uniform);
+        }
+        // +inf is "maximum skew", not garbage.
+        assert_eq!(
+            rmat_clustered(8, 2000, f64::INFINITY, 3),
+            rmat_clustered(8, 2000, 1.0, 3)
+        );
+        let n = uniform.dims()[0];
+        let block = n / 8;
+        let block_nnz: Vec<usize> = (0..8)
+            .map(|b| {
+                (b * block..(b + 1) * block)
+                    .map(|i| uniform.row_nnz(i))
+                    .sum()
+            })
+            .collect();
+        let max = *block_nnz.iter().max().unwrap() as f64;
+        let mean = block_nnz.iter().sum::<usize>() as f64 / 8.0;
+        assert!(max < 1.5 * mean, "alpha<=0 must stay uniform");
     }
 
     #[test]

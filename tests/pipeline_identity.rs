@@ -310,3 +310,48 @@ fn timings_reflect_dependence_structure() {
         );
     }
 }
+
+/// The modeled counterpart of the wall-clock milestones: the simulator's
+/// graph-ordered replay overlaps the CP-ALS sweep's three independent
+/// SpMTTKRP launches (modeled makespan strictly below the sequential
+/// modeled sum), while the RAW-dependent chain tiles exactly — its
+/// modeled-overlap ratio is 1, reproducing launch-at-a-time modeled time.
+#[test]
+fn modeled_overlap_reflects_dependence_structure() {
+    // Independent sweep: one batch, overlap on the model timeline.
+    let Program { mut ctx, plans, .. } = cp_als_sweep();
+    ctx.set_exec_mode(ExecMode::Parallel(2));
+    let mut session = Session::new(&mut ctx);
+    for p in &plans {
+        session.submit(p);
+    }
+    let report = session.flush().unwrap();
+    assert_eq!(report.batches, 1);
+    assert!(
+        report.model_makespan() < report.model_seq_sum(),
+        "independent MTTKRP modes must overlap on the model timeline: \
+         makespan {} vs sequential sum {}",
+        report.model_makespan(),
+        report.model_seq_sum()
+    );
+    assert!(report.modeled_overlap() > 1.0);
+    drop(session);
+
+    // RAW chain: three single-launch batches, spans tile.
+    let Program { mut ctx, plans, .. } = chained_spmv();
+    ctx.set_exec_mode(ExecMode::Parallel(2));
+    let mut session = Session::new(&mut ctx);
+    for p in &plans {
+        session.submit(p);
+    }
+    let report = session.flush().unwrap();
+    assert_eq!(report.batches, 3);
+    for pair in report.launches.windows(2) {
+        assert!(pair[1].model.start >= pair[0].model.finish);
+    }
+    assert!(
+        (report.modeled_overlap() - 1.0).abs() < 1e-9,
+        "a RAW chain must have no modeled overlap, got {}",
+        report.modeled_overlap()
+    );
+}
