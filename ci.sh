@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo doc --no-deps -q (rustdoc examples on the Program front-end must build)"
+cargo doc --no-deps -q
+
 echo "==> cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
 cargo test --workspace -q
 
@@ -33,6 +36,20 @@ echo "==> bench smoke: model_pipeline (modeled sequential vs graph-ordered CP-AL
 model_out="$(cargo bench -p spdistal-bench --bench model_pipeline)"
 echo "$model_out"
 grep "^modeled_overlap=" <<<"$model_out"
+
+echo "==> program_api smoke: quickstart via Program + ScheduleSpec::Auto"
+# On the clustered input the auto-scheduler must pick (and log) the
+# non-zero distribution; on the default banded input, outer-dim.
+quickstart_out="$(cargo run --release -q --example quickstart -- --skew 0.9 --parallel)"
+echo "$quickstart_out"
+grep -q "auto-scheduler picked: non-zero" <<<"$quickstart_out"
+cargo run --release -q --example quickstart | grep -q "auto-scheduler picked: outer-dim"
+
+echo "==> bench smoke: program_overhead (plan cache vs per-iteration recompile)"
+# Must emit 'cache_hit_speedup=<r>' for perf trajectory files.
+overhead_out="$(cargo bench -p spdistal-bench --bench program_overhead)"
+echo "$overhead_out"
+grep "^cache_hit_speedup=" <<<"$overhead_out"
 
 echo "==> bench smoke: fig10 strong scaling (small scale)"
 SPDISTAL_SCALE=0.05 cargo run --release -q -p spdistal-bench --bin fig10_cpu_strong_scaling

@@ -1,24 +1,27 @@
 //! Launch-at-a-time vs. pipelined wall-clock for a Jacobi CP-ALS sweep —
-//! the deferred-execution comparison at **equal thread count**.
+//! the deferred-execution comparison at **equal thread count**, driven
+//! through the `Program` front-end.
 //!
 //! One sweep updates all three factor matrices with one distributed
 //! SpMTTKRP per mode; the modes read only the previous sweep's factors, so
-//! the three launches are flow-independent. Launch-at-a-time flushes the
-//! session after every submit (each launch drains its own pool pass, the
-//! pre-pipeline behavior); pipelined submits all three and flushes once,
-//! letting the launch graph prove independence and the driver interleave
-//! all points in a single pass. The tensor is skewed, so each launch's
-//! critical color dominates its drain — exactly the idle time pipelining
-//! reclaims on a multi-core host. On a single-core host both paths do the
-//! same work and the table honestly reports ~1x.
+//! the three statements are flow-independent. The launch-at-a-time program
+//! flushes after every statement (each launch drains its own pool pass,
+//! the pre-pipeline behavior); the pipelined program defers the whole
+//! sweep into one flush, letting the launch graph prove independence and
+//! the driver interleave all points in a single pass. The tensor is
+//! skewed, so each launch's critical color dominates its drain — exactly
+//! the idle time pipelining reclaims on a multi-core host. On a
+//! single-core host both paths do the same work and the table honestly
+//! reports ~1x.
 //!
 //! Outputs are bit-identical between the two paths (asserted at startup);
-//! simulated time never moves.
+//! simulated time never moves. The program's plan cache compiles each of
+//! the three statements exactly once, no matter how many sweeps run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spdistal::prelude::*;
-use spdistal::{access, assign, schedule_outer_dim, Plan};
+use spdistal::{access, assign};
 use spdistal_sparse::convert::permuted;
 use spdistal_sparse::{dense_matrix, generate};
 
@@ -27,84 +30,83 @@ const RANK: usize = 32;
 const DIMS: [usize; 3] = [2000, 1500, 1800];
 const NNZ: usize = 400_000;
 
-/// The CP-ALS sweep workload: context + the three mode-update plans.
-fn workload() -> (Context, Vec<Plan>) {
+const MODES: [(&str, &str, &str, &str); 3] = [
+    ("Anew", "B0", "C", "D"),
+    ("Cnew", "B1", "A", "D"),
+    ("Dnew", "B2", "A", "C"),
+];
+
+/// The CP-ALS sweep as one `Program`: three mode-update statements on the
+/// explicit outer-dimension schedule.
+fn workload(pipelined: bool) -> CompiledProgram {
     let b = generate::tensor3_skewed(DIMS, NNZ, 0.8, 41);
-    let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
-    ctx.add_tensor("B0", b.clone(), Format::blocked_csf3())
-        .unwrap();
-    ctx.add_tensor(
-        "B1",
-        permuted(&b, &[1, 0, 2], &generate::CSF3),
-        Format::blocked_csf3(),
-    )
-    .unwrap();
-    ctx.add_tensor(
-        "B2",
-        permuted(&b, &[2, 0, 1], &generate::CSF3),
-        Format::blocked_csf3(),
-    )
-    .unwrap();
-    for (name, rows, seed) in [("A", DIMS[0], 1), ("C", DIMS[1], 2), ("D", DIMS[2], 3)] {
-        ctx.add_tensor(
-            name,
-            dense_matrix(rows, RANK, generate::dense_buffer(rows, RANK, seed)),
-            Format::replicated_dense_matrix(),
+    let mut program = Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
+        .exec_mode(ExecMode::Parallel(0))
+        .tensor("B0", Format::blocked_csf3(), b.clone())
+        .tensor(
+            "B1",
+            Format::blocked_csf3(),
+            permuted(&b, &[1, 0, 2], &generate::CSF3),
         )
-        .unwrap();
+        .tensor(
+            "B2",
+            Format::blocked_csf3(),
+            permuted(&b, &[2, 0, 1], &generate::CSF3),
+        );
+    for (name, rows, seed) in [("A", DIMS[0], 1), ("C", DIMS[1], 2), ("D", DIMS[2], 3)] {
+        program = program.tensor(
+            name,
+            Format::replicated_dense_matrix(),
+            dense_matrix(rows, RANK, generate::dense_buffer(rows, RANK, seed)),
+        );
     }
     for (name, rows) in [("Anew", DIMS[0]), ("Cnew", DIMS[1]), ("Dnew", DIMS[2])] {
-        ctx.add_tensor(
+        program = program.tensor(
             name,
-            dense_matrix(rows, RANK, vec![0.0; rows * RANK]),
             Format::blocked_dense_matrix(),
-        )
-        .unwrap();
-    }
-    let mut plans = Vec::new();
-    for (out, driver, f1, f2) in [
-        ("Anew", "B0", "C", "D"),
-        ("Cnew", "B1", "A", "D"),
-        ("Dnew", "B2", "A", "C"),
-    ] {
-        let [m, l, u, v] = ctx.fresh_vars(["m", "l", "u", "v"]);
-        let stmt = assign(
-            out,
-            &[m, l],
-            access(driver, &[m, u, v]) * access(f1, &[u, l]) * access(f2, &[v, l]),
+            dense_matrix(rows, RANK, vec![0.0; rows * RANK]),
         );
-        let sched = schedule_outer_dim(&mut ctx, &stmt, PIECES, ParallelUnit::CpuThread);
-        plans.push(ctx.compile(&stmt, &sched).unwrap());
     }
-    (ctx, plans)
+    for (out, driver, f1, f2) in MODES {
+        program = program
+            .stmt_with(move |vars| {
+                let [m, l, u, v] = vars.fresh_n(["m", "l", "u", "v"]);
+                assign(
+                    out,
+                    &[m, l],
+                    access(driver, &[m, u, v]) * access(f1, &[u, l]) * access(f2, &[v, l]),
+                )
+            })
+            .schedule(ScheduleSpec::outer_dim());
+    }
+    if !pipelined {
+        program = program.launch_at_a_time();
+    }
+    program.build().unwrap()
 }
 
-/// One sweep through a session; returns the summed flush wall-clock.
-fn sweep(ctx: &mut Context, plans: &[Plan], pipelined: bool) -> f64 {
-    let mut session = Session::new(ctx);
-    let mut wall = 0.0;
-    for plan in plans {
-        session.submit(plan);
-        if !pipelined {
-            wall += session.flush().unwrap().wall_seconds;
-        }
-    }
-    if pipelined {
-        wall += session.flush().unwrap().wall_seconds;
-    }
-    wall
+/// One sweep; returns the flush wall-clock this iteration added.
+fn sweep(program: &mut CompiledProgram) -> f64 {
+    let before = program.report().wall_seconds;
+    program.run().unwrap();
+    program.report().wall_seconds - before
 }
 
-/// Startup invariant: the two paths assemble bit-identical factors.
+/// Startup invariant: the two paths assemble bit-identical factors, and
+/// the plan cache compiles each statement exactly once across sweeps.
 fn assert_paths_identical() {
     let observe = |pipelined: bool| -> Vec<Vec<u64>> {
-        let (mut ctx, plans) = workload();
-        ctx.set_exec_mode(ExecMode::Parallel(0));
-        sweep(&mut ctx, &plans, pipelined);
+        let mut program = workload(pipelined);
+        sweep(&mut program);
+        sweep(&mut program);
+        assert_eq!(program.report().compiles, 3, "one compile per statement");
+        assert_eq!(program.report().cache_hits, 3, "second sweep all hits");
         ["Anew", "Cnew", "Dnew"]
             .iter()
             .map(|n| {
-                ctx.tensor(n)
+                program
+                    .context()
+                    .tensor(n)
                     .unwrap()
                     .data
                     .vals()
@@ -126,17 +128,17 @@ fn launch_at_a_time_vs_pipelined(c: &mut Criterion) {
     assert_paths_identical();
     let threads = ExecMode::Parallel(0).threads();
     let mut g = c.benchmark_group("pipeline_exec");
-    let (mut ctx, plans) = workload();
-    ctx.set_exec_mode(ExecMode::Parallel(0));
+    let mut lat = workload(false);
+    let mut pipe = workload(true);
     g.bench_with_input(
         BenchmarkId::new("cp_als_sweep", format!("launch-at-a-time/{threads}t")),
         &(),
-        |b, ()| b.iter(|| sweep(&mut ctx, &plans, false)),
+        |b, ()| b.iter(|| sweep(&mut lat)),
     );
     g.bench_with_input(
         BenchmarkId::new("cp_als_sweep", format!("pipelined/{threads}t")),
         &(),
-        |b, ()| b.iter(|| sweep(&mut ctx, &plans, true)),
+        |b, ()| b.iter(|| sweep(&mut pipe)),
     );
     g.finish();
 }
@@ -150,14 +152,9 @@ fn median(mut xs: Vec<f64>) -> f64 {
 fn speedup_table(_c: &mut Criterion) {
     const RUNS: usize = 5;
     let threads = ExecMode::Parallel(0).threads();
-    let (mut ctx, plans) = workload();
-    ctx.set_exec_mode(ExecMode::Parallel(0));
-    let mut measure = |pipelined: bool| {
-        median(
-            (0..RUNS)
-                .map(|_| sweep(&mut ctx, &plans, pipelined))
-                .collect(),
-        )
+    let measure = |pipelined: bool| {
+        let mut program = workload(pipelined);
+        median((0..RUNS).map(|_| sweep(&mut program)).collect())
     };
     let lat = measure(false);
     let pipe = measure(true);

@@ -1,5 +1,6 @@
 //! Split vs. unsplit execution on *skewed* inputs at equal thread count —
-//! the workloads whose critical color gates the whole launch.
+//! the workloads whose critical color gates the whole launch — driven
+//! through the `Program` front-end.
 //!
 //! Two inputs model the paper's worst load-balance cases:
 //!
@@ -10,82 +11,81 @@
 //!   Freebase/NELL slice skew under the CP-ALS SpMTTKRP kernel.
 //!
 //! Both run under the same `ExecMode::Parallel(T)`; only the
-//! [`SplitPolicy`] changes. `Off` is the one-closure-per-color execution
-//! (wall-clock floored by the critical color); `Auto` chunks dominant
-//! colors into spans idle workers steal. The summary table prints the
-//! measured critical color next to both wall-clocks, so the headroom and
-//! the recovered fraction are visible even where a small host caps the
-//! absolute speedup.
+//! [`SplitPolicy`] changes (via `CompiledProgram::set_split_policy`).
+//! `Off` is the one-closure-per-color execution (wall-clock floored by the
+//! critical color); `Auto` chunks dominant colors into spans idle workers
+//! steal. The summary table prints the measured critical color next to
+//! both wall-clocks, so the headroom and the recovered fraction are
+//! visible even where a small host caps the absolute speedup. The
+//! statements are pinned to the outer-dimension schedule (not `Auto`) —
+//! the point here is the executor's intra-color splitting, not the
+//! auto-scheduler's escape to a non-zero distribution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spdistal::prelude::*;
-use spdistal::{access, assign, schedule_outer_dim, Plan};
+use spdistal::{access, assign};
 use spdistal_sparse::{dense_matrix, dense_vector, generate};
 
 const PIECES: usize = 8;
 const RANK: usize = 16;
 
-fn spmv_skewed() -> (Context, Plan) {
-    let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
+fn spmv_skewed(threads: usize) -> CompiledProgram {
     let b = generate::rmat_clustered(13, 800_000, 0.9, 21);
     let n = b.dims()[0];
-    ctx.add_tensor("a", dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
-        .unwrap();
-    ctx.add_tensor("B", b, Format::blocked_csr()).unwrap();
-    ctx.add_tensor(
-        "c",
-        dense_vector(generate::dense_vec(n, 22)),
-        Format::replicated_dense_vec(),
-    )
-    .unwrap();
-    let [i, j] = ctx.fresh_vars(["i", "j"]);
-    let stmt = assign("a", &[i], access("B", &[i, j]) * access("c", &[j]));
-    let sched = schedule_outer_dim(&mut ctx, &stmt, PIECES, ParallelUnit::CpuThread);
-    let plan = ctx.compile(&stmt, &sched).unwrap();
-    (ctx, plan)
+    Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
+        .exec_mode(ExecMode::Parallel(threads))
+        .tensor("a", Format::blocked_dense_vec(), dense_vector(vec![0.0; n]))
+        .tensor("B", Format::blocked_csr(), b)
+        .tensor(
+            "c",
+            Format::replicated_dense_vec(),
+            dense_vector(generate::dense_vec(n, 22)),
+        )
+        .stmt("a(i) = B(i,j) * c(j)")
+        .schedule(ScheduleSpec::outer_dim())
+        .build()
+        .unwrap()
 }
 
-fn mttkrp_skewed() -> (Context, Plan) {
-    let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
+fn mttkrp_skewed(threads: usize) -> CompiledProgram {
     let dims = [1024usize, 256, 256];
     let b = generate::tensor3_skewed(dims, 400_000, 1.1, 23);
-    ctx.add_tensor("B", b, Format::blocked_csf3()).unwrap();
-    ctx.add_tensor(
-        "A",
-        dense_matrix(dims[0], RANK, vec![0.0; dims[0] * RANK]),
-        Format::blocked_dense_matrix(),
-    )
-    .unwrap();
-    ctx.add_tensor(
-        "C",
-        dense_matrix(dims[1], RANK, generate::dense_buffer(dims[1], RANK, 24)),
-        Format::replicated_dense_matrix(),
-    )
-    .unwrap();
-    ctx.add_tensor(
-        "D",
-        dense_matrix(dims[2], RANK, generate::dense_buffer(dims[2], RANK, 25)),
-        Format::replicated_dense_matrix(),
-    )
-    .unwrap();
-    let [i, l, j, k] = ctx.fresh_vars(["i", "l", "j", "k"]);
-    let stmt = assign(
-        "A",
-        &[i, l],
-        access("B", &[i, j, k]) * access("C", &[j, l]) * access("D", &[k, l]),
-    );
-    let sched = schedule_outer_dim(&mut ctx, &stmt, PIECES, ParallelUnit::CpuThread);
-    let plan = ctx.compile(&stmt, &sched).unwrap();
-    (ctx, plan)
+    Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
+        .exec_mode(ExecMode::Parallel(threads))
+        .tensor("B", Format::blocked_csf3(), b)
+        .tensor(
+            "A",
+            Format::blocked_dense_matrix(),
+            dense_matrix(dims[0], RANK, vec![0.0; dims[0] * RANK]),
+        )
+        .tensor(
+            "C",
+            Format::replicated_dense_matrix(),
+            dense_matrix(dims[1], RANK, generate::dense_buffer(dims[1], RANK, 24)),
+        )
+        .tensor(
+            "D",
+            Format::replicated_dense_matrix(),
+            dense_matrix(dims[2], RANK, generate::dense_buffer(dims[2], RANK, 25)),
+        )
+        .stmt_with(|vars| {
+            let [i, l, j, k] = vars.fresh_n(["i", "l", "j", "k"]);
+            assign(
+                "A",
+                &[i, l],
+                access("B", &[i, j, k]) * access("C", &[j, l]) * access("D", &[k, l]),
+            )
+        })
+        .schedule(ScheduleSpec::outer_dim())
+        .build()
+        .unwrap()
 }
 
-fn workloads() -> Vec<(&'static str, Context, Plan)> {
-    let (spmv_ctx, spmv_plan) = spmv_skewed();
-    let (mttkrp_ctx, mttkrp_plan) = mttkrp_skewed();
+fn workloads(threads: usize) -> Vec<(&'static str, CompiledProgram)> {
     vec![
-        ("SpMV/rmat_clustered", spmv_ctx, spmv_plan),
-        ("SpMTTKRP/tensor3_skewed", mttkrp_ctx, mttkrp_plan),
+        ("SpMV/rmat_clustered", spmv_skewed(threads)),
+        ("SpMTTKRP/tensor3_skewed", mttkrp_skewed(threads)),
     ]
 }
 
@@ -95,14 +95,19 @@ fn threads() -> usize {
     ExecMode::Parallel(0).threads().max(2)
 }
 
+/// Run the program once and return the statement's compute wall-clock.
+fn once(program: &mut CompiledProgram) -> f64 {
+    program.run().unwrap();
+    program.result(0).unwrap().wall_time
+}
+
 fn split_vs_unsplit(c: &mut Criterion) {
-    let mode = ExecMode::Parallel(threads());
     let mut g = c.benchmark_group("skewed_exec");
-    for (name, mut ctx, plan) in workloads() {
+    for (name, mut program) in workloads(threads()) {
         for (label, policy) in [("unsplit", SplitPolicy::Off), ("split", SplitPolicy::Auto)] {
-            ctx.set_split_policy(policy);
+            program.set_split_policy(policy);
             g.bench_with_input(BenchmarkId::new(name, label), &(), |b, ()| {
-                b.iter(|| ctx.run_with_mode(&plan, mode).unwrap().wall_time)
+                b.iter(|| once(&mut program))
             });
         }
     }
@@ -119,32 +124,29 @@ fn median(mut xs: Vec<f64>) -> f64 {
 fn skew_table(_c: &mut Criterion) {
     const RUNS: usize = 7;
     let t = threads();
-    let mode = ExecMode::Parallel(t);
     println!(
         "\nskewed inputs, unsplit vs split at {t} threads, {PIECES} colors \
-         (imbalance = modeled nnz skew; crit = measured critical color):"
+         (crit = measured critical color):"
     );
-    for (name, mut ctx, plan) in workloads() {
-        let imbalance = plan.inputs[0].part.vals.imbalance();
+    for (name, mut program) in workloads(t) {
         let mut measure = |policy: SplitPolicy| {
-            ctx.set_split_policy(policy);
-            let results: Vec<_> = (0..RUNS)
-                .map(|_| ctx.run_with_mode(&plan, mode).unwrap())
+            program.set_split_policy(policy);
+            let results: Vec<(f64, f64, usize, usize)> = (0..RUNS)
+                .map(|_| {
+                    let wall = once(&mut program);
+                    let sched = &program.result(0).unwrap().sched;
+                    (wall, sched.critical_task_seconds, sched.spans, sched.steals)
+                })
                 .collect();
-            let wall = median(results.iter().map(|r| r.wall_time).collect());
-            let crit = median(
-                results
-                    .iter()
-                    .map(|r| r.sched.critical_task_seconds)
-                    .collect(),
-            );
+            let wall = median(results.iter().map(|r| r.0).collect());
+            let crit = median(results.iter().map(|r| r.1).collect());
             let last = results.last().unwrap();
-            (wall, crit, last.sched.spans, last.sched.steals)
+            (wall, crit, last.2, last.3)
         };
         let (unsplit_wall, unsplit_crit, _, _) = measure(SplitPolicy::Off);
         let (split_wall, split_crit, spans, steals) = measure(SplitPolicy::Auto);
         println!(
-            "  {name:24} imbalance {imbalance:5.2}x\n\
+            "  {name:24}\n\
              \x20   unsplit: {:8.3} ms wall (crit color {:8.3} ms)\n\
              \x20   split  : {:8.3} ms wall (crit color {:8.3} ms, {spans} spans, {steals} steals)\n\
              \x20   -> {:.2}x at equal thread count",

@@ -7,18 +7,26 @@
 //! distribution (Section II-D).
 
 use spdistal_ir::{Access, Assignment, Expr, IndexVar, ParallelUnit, Schedule};
-use spdistal_runtime::ExecMode;
+use spdistal_runtime::{ExecMode, SplitPolicy};
 
 use crate::codegen::{self, Plan};
 use crate::dist_tensor::{Context, Error};
 use crate::plan::{self, ExecResult};
 
 /// Build a tensor access expression: `access("B", &[i, j])` is `B(i,j)`.
+///
+/// A thin shim over [`Expr::access`] — the [`Program`](crate::Program)
+/// front-end accepts the same notation as text (`.stmt("a(i) = B(i,j) *
+/// c(j)")`), which is the preferred entry point; use this builder when
+/// constructing statements programmatically (e.g. in a loop over modes).
 pub fn access(tensor: &str, indices: &[IndexVar]) -> Expr {
     Expr::access(tensor, indices)
 }
 
 /// Build an assignment: `assign("a", &[i], rhs)` is `a(i) = rhs`.
+///
+/// A thin shim over [`Assignment::new`]; see [`access`] for how this
+/// relates to the [`Program`](crate::Program) front-end.
 pub fn assign(tensor: &str, indices: &[IndexVar], rhs: Expr) -> Assignment {
     Assignment::new(Access::new(tensor, indices), rhs)
 }
@@ -39,11 +47,41 @@ impl Context {
     /// bit-identical to serial: conflicting tasks are serialized in color
     /// order by the dependence graph and reductions combine in color order.
     pub fn run_with_mode(&mut self, plan: &Plan, mode: ExecMode) -> Result<ExecResult, Error> {
-        let prev = self.exec_mode();
-        self.set_exec_mode(mode);
-        let result = plan::execute(self, plan);
-        self.set_exec_mode(prev);
-        result
+        let split = self.split_policy();
+        self.run_with(plan, mode, split)
+    }
+
+    /// Execute a compiled plan under a specific [`ExecMode`] *and*
+    /// [`SplitPolicy`], restoring both afterwards — including on the error
+    /// path, which [`Context::run_with_mode`] alone used to leave to the
+    /// caller when it also toggled the split policy around the call.
+    pub fn run_with(
+        &mut self,
+        plan: &Plan,
+        mode: ExecMode,
+        split: SplitPolicy,
+    ) -> Result<ExecResult, Error> {
+        /// Restores the context's mode + policy on every exit, early
+        /// returns and panics included.
+        struct Restore<'a> {
+            ctx: &'a mut Context,
+            mode: ExecMode,
+            split: SplitPolicy,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.ctx.set_exec_mode(self.mode);
+                self.ctx.set_split_policy(self.split);
+            }
+        }
+        let guard = Restore {
+            mode: self.exec_mode(),
+            split: self.split_policy(),
+            ctx: self,
+        };
+        guard.ctx.set_exec_mode(mode);
+        guard.ctx.set_split_policy(split);
+        plan::execute(guard.ctx, plan)
     }
 
     /// Compile and execute in one step.
@@ -76,7 +114,7 @@ impl Context {
                 )
                 .into_iter()
                 .next()
-                .ok_or_else(|| Error::Unsupported("empty machine dimension".into()))?;
+                .ok_or(Error::EmptyMachineDim(plan.machine_dim))?;
                 for (k, lr) in regions.levels.iter().enumerate() {
                     if let LevelRegions::Compressed { pos, crd } = lr {
                         self.runtime_mut().attach(

@@ -35,7 +35,12 @@ pub enum Error {
     Tdn(TdnError),
     Sched(SchedError),
     Runtime(RuntimeError),
+    /// A TIN statement failed to parse (the `Program` text front-end).
+    Parse(spdistal_ir::ParseError),
     UnknownTensor(String),
+    /// A machine dimension has no processors along it — nothing can own a
+    /// color there (plan execution and pre-staging both need an owner).
+    EmptyMachineDim(usize),
     Unsupported(String),
     /// A deferred execution never ran because an earlier queued plan in
     /// the same session failed; the message names the original failure.
@@ -48,7 +53,11 @@ impl std::fmt::Display for Error {
             Error::Tdn(e) => write!(f, "{e}"),
             Error::Sched(e) => write!(f, "{e}"),
             Error::Runtime(e) => write!(f, "{e}"),
+            Error::Parse(e) => write!(f, "{e}"),
             Error::UnknownTensor(t) => write!(f, "unknown tensor '{t}'"),
+            Error::EmptyMachineDim(d) => {
+                write!(f, "machine dimension {d} has no processors")
+            }
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Aborted(m) => write!(f, "deferred execution aborted: {m}"),
         }
@@ -60,6 +69,12 @@ impl std::error::Error for Error {}
 impl From<TdnError> for Error {
     fn from(e: TdnError) -> Self {
         Error::Tdn(e)
+    }
+}
+
+impl From<spdistal_ir::ParseError> for Error {
+    fn from(e: spdistal_ir::ParseError) -> Self {
+        Error::Parse(e)
     }
 }
 
@@ -221,6 +236,28 @@ impl Context {
         }
         self.tensors.remove(name);
         self.add_tensor(name, data, format)
+    }
+
+    /// Re-register a tensor under a new format (keeping its data): the old
+    /// registration is dropped and the new distribution is materialized,
+    /// exactly as if the tensor had been added with `format` originally.
+    /// Plans compiled against the old registration stay valid for their own
+    /// partitions but callers caching plans by format signature (the
+    /// `Program` front-end) will rightly miss and recompile.
+    pub fn set_tensor_format(&mut self, name: &str, format: Format) -> Result<(), Error> {
+        // Validate against the tensor's order before touching the table,
+        // and restore the old registration if re-adding fails for any
+        // later reason — a rejected format must leave the context intact.
+        let order = self.tensor(name)?.data.order();
+        format.validate(order)?;
+        let old = self.tensors.remove(name).expect("existence checked above");
+        match self.add_tensor(name, old.data.clone(), format) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.tensors.insert(name.to_string(), old);
+                Err(e)
+            }
+        }
     }
 
     /// Register a tensor with its format and materialize its initial
@@ -501,6 +538,25 @@ mod tests {
         assert_eq!(grid_coord(&m, 5, 1), 2);
         assert_eq!(procs_for_color(&m, Some(1), 2), vec![2, 5]);
         assert_eq!(procs_for_color(&m, None, 0).len(), 6);
+    }
+
+    #[test]
+    fn set_tensor_format_rejects_without_corrupting() {
+        let mut c = ctx(2);
+        let b = generate::uniform(16, 16, 40, 5);
+        c.add_tensor("B", b, Format::blocked_csr()).unwrap();
+        // A vector format on a matrix must fail ...
+        assert!(c
+            .set_tensor_format("B", Format::blocked_dense_vec())
+            .is_err());
+        // ... and leave the tensor registered and usable.
+        assert_eq!(
+            c.tensor("B").unwrap().format.levels,
+            Format::blocked_csr().levels
+        );
+        // A valid re-declaration still works afterwards.
+        c.set_tensor_format("B", Format::nonzero_csr()).unwrap();
+        assert!(c.tensor("B").unwrap().dist_part.vals.imbalance() < 1.05);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod dist_tensor;
 pub mod kernels;
 pub mod level_funcs;
 pub mod plan;
+pub mod program;
 pub mod session;
 
 pub use api::{access, assign, schedule_nonzero, schedule_outer_dim};
@@ -48,6 +49,9 @@ pub use dist_tensor::{Context, DistTensor, Error};
 pub use kernels::{LeafKernel, OutVals};
 pub use level_funcs::TensorPartition;
 pub use plan::{ExecResult, OutputValue};
+pub use program::{
+    AutoDecision, CompiledProgram, Program, ProgramReport, ScheduleSpec, StmtReport,
+};
 pub use session::{FlushReport, Session, TensorFuture};
 
 /// One-stop imports for examples and downstream users.
@@ -55,6 +59,9 @@ pub mod prelude {
     pub use crate::api::{access, assign, schedule_nonzero, schedule_outer_dim};
     pub use crate::dist_tensor::{Context, Error};
     pub use crate::plan::{ExecResult, OutputValue};
+    pub use crate::program::{
+        AutoDecision, CompiledProgram, Program, ProgramReport, ScheduleSpec, StmtReport,
+    };
     pub use crate::session::{FlushReport, Session, TensorFuture};
     pub use spdistal_ir::{Format, ParallelUnit, Schedule};
     pub use spdistal_runtime::{ExecMode, LaunchTiming, Machine, MachineProfile, SplitPolicy};

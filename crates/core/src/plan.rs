@@ -670,7 +670,7 @@ pub(crate) fn finish_model(
                 let proc = procs_for_color(ctx.machine(), Some(plan.machine_dim), c)
                     .into_iter()
                     .next()
-                    .ok_or_else(|| Error::Unsupported("empty machine dimension".into()))?;
+                    .ok_or(Error::EmptyMachineDim(plan.machine_dim))?;
                 let mut task = TaskSpec::new(proc, ops[c]);
                 for input in &plan.inputs {
                     push_input_reqs(ctx, input, c, &mut task.reqs)?;

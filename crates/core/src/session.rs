@@ -83,6 +83,13 @@ pub struct FlushReport {
     pub spans: usize,
     /// Work-stealing steals across all batches.
     pub steals: usize,
+    /// Tasks split into more than one span, across all batches.
+    pub split_tasks: usize,
+    /// Summed span-body seconds across all batches (total real compute).
+    pub busy_seconds: f64,
+    /// The heaviest single task's span-body seconds, max over batches —
+    /// the measured critical color of the flush.
+    pub critical_task_seconds: f64,
     /// Worker threads used (max over batches).
     pub threads: usize,
     /// Per-launch issue/start/drain milestones, rebased onto the
@@ -94,6 +101,18 @@ pub struct FlushReport {
 }
 
 impl FlushReport {
+    /// The measured task skew of the flush: the critical color's seconds
+    /// over the perfectly balanced per-task share (1.0 = balanced). The
+    /// executor-feedback half of the auto-scheduling loop, aggregated over
+    /// the flush's batches like the per-launch
+    /// [`task_skew`](spdistal_runtime::sched::ExecReport::task_skew).
+    pub fn task_skew(&self) -> f64 {
+        if self.busy_seconds <= 0.0 || self.tasks == 0 {
+            return 1.0;
+        }
+        self.critical_task_seconds / (self.busy_seconds / self.tasks as f64)
+    }
+
     /// Sum of the launches' modeled *sequential* spans: the simulated time
     /// launch-at-a-time replay charges for this flush's work.
     pub fn model_seq_sum(&self) -> f64 {
@@ -374,6 +393,11 @@ impl<'c> Session<'c> {
         report.tasks += exec_report.tasks;
         report.spans += exec_report.spans;
         report.steals += exec_report.steals;
+        report.split_tasks += exec_report.split_tasks;
+        report.busy_seconds += exec_report.busy_seconds;
+        report.critical_task_seconds = report
+            .critical_task_seconds
+            .max(exec_report.critical_task_seconds);
         report.threads = report.threads.max(exec_report.threads);
         Ok(())
     }

@@ -7,6 +7,7 @@
 //! from the paper.
 
 use std::collections::BTreeSet;
+use std::fmt;
 use std::ops::{Add, Mul};
 
 use crate::vars::IndexVar;
@@ -25,6 +26,20 @@ impl Access {
             tensor: tensor.to_string(),
             indices: indices.to_vec(),
         }
+    }
+}
+
+/// Displays in TIN concrete syntax, e.g. `B(iv0,iv1)`.
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.tensor)?;
+        for (k, v) in self.indices.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -103,6 +118,28 @@ impl Expr {
     }
 }
 
+/// Displays in TIN concrete syntax; sums nested under products are
+/// parenthesized so the printed form re-parses to the same expression
+/// (`(B(iv0) + C(iv0)) * d(iv0)`).
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let factor = |f: &mut fmt::Formatter<'_>, e: &Expr| match e {
+            Expr::Add(..) => write!(f, "({e})"),
+            _ => write!(f, "{e}"),
+        };
+        match self {
+            Expr::Access(a) => write!(f, "{a}"),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Add(l, r) => write!(f, "{l} + {r}"),
+            Expr::Mul(l, r) => {
+                factor(f, l)?;
+                write!(f, " * ")?;
+                factor(f, r)
+            }
+        }
+    }
+}
+
 /// One factor of a product term.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Term {
@@ -129,6 +166,14 @@ impl Add for Expr {
 pub struct Assignment {
     pub lhs: Access,
     pub rhs: Expr,
+}
+
+/// Displays as the TIN statement `lhs = rhs` — the human-readable half of
+/// plan-cache keys and `CompiledProgram::describe`-style listings.
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.lhs, self.rhs)
+    }
 }
 
 impl Assignment {
@@ -222,6 +267,23 @@ mod tests {
         let sop = rhs.sum_of_products();
         assert_eq!(sop.len(), 2);
         assert!(sop.iter().all(|t| t.len() == 2));
+    }
+
+    #[test]
+    fn display_round_trips_through_the_parser() {
+        let mut ctx = VarCtx::new();
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        let stmt = Assignment::new(
+            Access::new("a", &[i]),
+            (Expr::access("B", &[i, j]) + Expr::Const(2.5)) * Expr::access("c", &[j]),
+        );
+        let printed = stmt.to_string();
+        assert_eq!(printed, "a(iv0) = (B(iv0,iv1) + 2.5) * c(iv1)");
+        // The printed form parses back to a structurally equal statement
+        // (fresh variables, same shape).
+        let mut vars = VarCtx::new();
+        let reparsed = crate::parse::parse_tin(&printed, &mut vars).unwrap();
+        assert_eq!(reparsed.to_string(), printed);
     }
 
     #[test]

@@ -116,6 +116,25 @@ impl Format {
         )
     }
 
+    /// A stable, human-readable identity string for this format: the level
+    /// formats plus the distribution in TDN syntax. Two formats with equal
+    /// signatures store and distribute tensors identically — this is the
+    /// per-tensor component of `Program` plan-cache keys, so re-declaring a
+    /// tensor under a different format misses the cache.
+    ///
+    /// ```
+    /// use spdistal_ir::Format;
+    /// assert_eq!(Format::blocked_csr().signature(), "{Dense,Compressed} xy -> x");
+    /// assert_eq!(
+    ///     Format::nonzero_csr().signature(),
+    ///     "{Dense,Compressed} xy (xy->f) -> ~f"
+    /// );
+    /// ```
+    pub fn signature(&self) -> String {
+        let levels: Vec<String> = self.levels.iter().map(|l| format!("{l:?}")).collect();
+        format!("{{{}}} {}", levels.join(","), self.dist)
+    }
+
     /// Validate the format against a tensor order.
     pub fn validate(&self, order: usize) -> Result<(), TdnError> {
         if self.levels.len() != order {

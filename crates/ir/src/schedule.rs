@@ -20,6 +20,15 @@ pub enum ParallelUnit {
     GpuThread,
 }
 
+impl std::fmt::Display for ParallelUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelUnit::CpuThread => write!(f, "CpuThread"),
+            ParallelUnit::GpuThread => write!(f, "GpuThread"),
+        }
+    }
+}
+
 /// One scheduling command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SchedCmd {
@@ -59,6 +68,47 @@ pub enum SchedCmd {
         target: IndexVar,
         unit: ParallelUnit,
     },
+}
+
+/// Displays one command in the paper's scheduling-language spelling, with
+/// index variables in their stable `iv<n>` form (see
+/// [`IndexVar`](crate::vars::IndexVar)'s `Display`):
+/// `divide(iv0, 4) -> (iv2, iv3)`, `distribute(iv2, dim 0)`, …
+impl std::fmt::Display for SchedCmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedCmd::Divide {
+                target,
+                outer,
+                inner,
+                pieces,
+            } => write!(f, "divide({target}, {pieces}) -> ({outer}, {inner})"),
+            SchedCmd::Fuse { a, b, fused } => write!(f, "fuse({a}, {b}) -> {fused}"),
+            SchedCmd::Pos {
+                target,
+                result,
+                tensor,
+            } => write!(f, "pos({target}, {tensor}) -> {result}"),
+            SchedCmd::Reorder(order) => {
+                write!(f, "reorder(")?;
+                for (k, v) in order.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            SchedCmd::Distribute {
+                target,
+                machine_dim,
+            } => write!(f, "distribute({target}, dim {machine_dim})"),
+            SchedCmd::Communicate { tensors, at } => {
+                write!(f, "communicate([{}], at {at})", tensors.join(", "))
+            }
+            SchedCmd::Parallelize { target, unit } => write!(f, "parallelize({target}, {unit})"),
+        }
+    }
 }
 
 /// Errors raised while building or lowering a schedule.
@@ -101,6 +151,24 @@ impl std::error::Error for SchedError {}
 #[derive(Clone, Debug, Default)]
 pub struct Schedule {
     cmds: Vec<SchedCmd>,
+}
+
+/// Displays the command list separated by `; ` (empty schedules print
+/// `identity`) — the human-readable plan a cache key or
+/// `CompiledProgram::describe()` listing embeds.
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cmds.is_empty() {
+            return write!(f, "identity");
+        }
+        for (k, cmd) in self.cmds.iter().enumerate() {
+            if k > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{cmd}")?;
+        }
+        Ok(())
+    }
 }
 
 impl Schedule {
@@ -232,6 +300,28 @@ mod tests {
             d => panic!("unexpected {d:?}"),
         }
         assert_eq!(s.cmds().len(), 1);
+    }
+
+    #[test]
+    fn schedules_display_human_readably() {
+        let mut ctx = VarCtx::new();
+        let mut s = Schedule::new();
+        assert_eq!(s.to_string(), "identity");
+        let [i, j] = ctx.fresh_n(["i", "j"]);
+        let f = s.fuse(&mut ctx, i, j);
+        let fp = s.pos(&mut ctx, f, "B");
+        let (fo, fi) = s.divide(&mut ctx, fp, 8);
+        s.reorder(vec![fo, fi])
+            .distribute(fo, 0)
+            .communicate(&["a", "B"], fo)
+            .parallelize(fi, ParallelUnit::CpuThread);
+        assert_eq!(
+            s.to_string(),
+            "fuse(iv0, iv1) -> iv2; pos(iv2, B) -> iv3; \
+             divide(iv3, 8) -> (iv4, iv5); reorder(iv4, iv5); \
+             distribute(iv4, dim 0); communicate([a, B], at iv4); \
+             parallelize(iv5, CpuThread)"
+        );
     }
 
     #[test]

@@ -82,7 +82,15 @@ impl DistSpec {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TdnError {
     Syntax(String),
+    /// A dimension name is bound twice: repeated in the tensor's dimension
+    /// list, repeated inside one fusion group, or reintroduced by a fusion
+    /// result that collides with a still-live name. (Previously some of
+    /// these resolved silently against whichever binding the lookup hit.)
     DuplicateDim(char),
+    /// Two machine-grid dimensions name the same partitioning dimension —
+    /// the mapping would be ambiguous, so it is rejected rather than
+    /// resolved in favor of either binding.
+    DuplicateMachineDim(char),
     UnknownDim(char),
     /// Fusion groups must name consecutive current dimensions.
     NonAdjacentFusion(String),
@@ -96,6 +104,9 @@ impl std::fmt::Display for TdnError {
         match self {
             TdnError::Syntax(m) => write!(f, "TDN syntax error: {m}"),
             TdnError::DuplicateDim(c) => write!(f, "duplicate dimension name '{c}'"),
+            TdnError::DuplicateMachineDim(c) => {
+                write!(f, "machine dimension name '{c}' bound twice")
+            }
             TdnError::UnknownDim(c) => write!(f, "unknown dimension name '{c}'"),
             TdnError::NonAdjacentFusion(m) => write!(f, "non-adjacent fusion: {m}"),
             TdnError::FusedAway(c) => write!(f, "dimension '{c}' was fused away"),
@@ -104,6 +115,28 @@ impl std::fmt::Display for TdnError {
 }
 
 impl std::error::Error for TdnError {}
+
+/// Displays in the TDN concrete syntax [`parse`] accepts (minus the tensor
+/// and machine names, which a [`Distribution`] does not carry):
+/// `xy (xy->f) -> ~f`.
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names = |f: &mut std::fmt::Formatter<'_>, cs: &[char]| {
+            cs.iter().try_for_each(|c| write!(f, "{c}"))
+        };
+        names(f, &self.dim_names)?;
+        for (group, name) in &self.fusions {
+            write!(f, " (")?;
+            names(f, group)?;
+            write!(f, "->{name})")?;
+        }
+        write!(f, " -> ")?;
+        for m in &self.machine_dims {
+            write!(f, "{}{}", if m.nonzero { "~" } else { "" }, m.name)?;
+        }
+        Ok(())
+    }
+}
 
 impl Distribution {
     /// Build a simple (fusion-free) distribution: `dim_names` name the
@@ -126,11 +159,29 @@ impl Distribution {
         self
     }
 
+    /// Reject every ambiguous name binding up front: repeated tensor
+    /// dimension names, repeated characters inside one fusion group, and a
+    /// machine dimension named twice. Each used to resolve silently against
+    /// one arbitrary binding; all are typed errors now.
     fn check_dims(&self) -> Result<(), TdnError> {
         let mut seen = std::collections::BTreeSet::new();
         for &c in &self.dim_names {
             if !seen.insert(c) {
                 return Err(TdnError::DuplicateDim(c));
+            }
+        }
+        for (group, _) in &self.fusions {
+            let mut seen = std::collections::BTreeSet::new();
+            for &c in group {
+                if !seen.insert(c) {
+                    return Err(TdnError::DuplicateDim(c));
+                }
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for m in &self.machine_dims {
+            if !seen.insert(m.name) {
+                return Err(TdnError::DuplicateMachineDim(m.name));
             }
         }
         Ok(())
@@ -172,6 +223,12 @@ impl Distribution {
                 .collect();
             names.splice(start..start + fuse_group.len(), [*new_name]);
             groups.splice(start..start + fuse_group.len(), [merged]);
+            // A fusion result colliding with a still-live name (an unfused
+            // dimension or an earlier fusion's result) would make every
+            // later lookup ambiguous.
+            if names.iter().filter(|&&c| c == *new_name).count() > 1 {
+                return Err(TdnError::DuplicateDim(*new_name));
+            }
         }
         let mut map = Vec::with_capacity(self.machine_dims.len());
         let mut nonzero = Vec::with_capacity(self.machine_dims.len());
@@ -385,6 +442,49 @@ mod tests {
     #[test]
     fn duplicate_dim_rejected() {
         assert_eq!(parse("T xx -> x M"), Err(TdnError::DuplicateDim('x')));
+        // Three dims with the middle repeated — still the *first* duplicate.
+        assert_eq!(parse("T xyx -> y M"), Err(TdnError::DuplicateDim('x')));
+    }
+
+    #[test]
+    fn duplicate_fusion_group_char_rejected() {
+        // `(xx->f)` repeats a character inside the fusion group: previously
+        // this fell through to an incidental NonAdjacentFusion (or silently
+        // resolved, for groups the adjacency walk happened to accept); it
+        // is a typed duplicate now, at parse time.
+        assert_eq!(
+            parse("B xy (xx->f) -> ~f M"),
+            Err(TdnError::DuplicateDim('x'))
+        );
+        // And via the builder, at resolve time.
+        let d = Distribution::new("xyz", "~f")
+            .unwrap()
+            .with_fusion("xyy", 'f');
+        assert_eq!(d.resolve(3), Err(TdnError::DuplicateDim('y')));
+    }
+
+    #[test]
+    fn fusion_result_colliding_with_live_dim_rejected() {
+        // `(xy->z)` reintroduces `z`, which is still a live dimension: both
+        // the machine mapping `z M` and any later fusion would bind to an
+        // arbitrary one of the two.
+        let t = parse("T xyz (xy->z) -> z M").unwrap();
+        assert_eq!(t.dist.resolve(3), Err(TdnError::DuplicateDim('z')));
+    }
+
+    #[test]
+    fn duplicate_machine_dim_rejected() {
+        // `xx M` binds machine dimension name `x` twice: the partition
+        // mapping would be ambiguous (the old code silently used whichever
+        // binding `machine_dim_of` found first).
+        assert_eq!(
+            parse("T xy -> xx M"),
+            Err(TdnError::DuplicateMachineDim('x'))
+        );
+        assert_eq!(
+            Distribution::new("xy", "zz"),
+            Err(TdnError::DuplicateMachineDim('z'))
+        );
     }
 
     #[test]
@@ -406,6 +506,13 @@ mod tests {
     fn order_mismatch_rejected() {
         let t = parse("T xy -> x M").unwrap();
         assert!(matches!(t.dist.resolve(3), Err(TdnError::Syntax(_))));
+    }
+
+    #[test]
+    fn distribution_displays_in_tdn_syntax() {
+        let t = parse("B xy (xy->f) -> ~f M").unwrap();
+        assert_eq!(t.dist.to_string(), "xy (xy->f) -> ~f");
+        assert_eq!(parse("T xy -> x M").unwrap().dist.to_string(), "xy -> x");
     }
 
     #[test]

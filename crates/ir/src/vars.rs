@@ -20,6 +20,16 @@ impl fmt::Debug for IndexVar {
     }
 }
 
+/// Displays as `iv<n>` — the variable's stable identity within its
+/// [`VarCtx`]. Human-facing names live in the context ([`VarCtx::name`]);
+/// the `Display` form is what statement/schedule pretty-printers (and the
+/// plan-cache keys built from them) use, since it needs no context.
+impl fmt::Display for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iv{}", self.0)
+    }
+}
+
 /// How a variable came to exist.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Derivation {

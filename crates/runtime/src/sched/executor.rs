@@ -149,6 +149,17 @@ impl ExecReport {
         }
         self.critical_task_seconds / (self.busy_seconds / self.tasks as f64)
     }
+
+    /// Fraction of executed spans that were stolen from another worker's
+    /// deque (0.0 in serial mode or when nothing was stolen). High steal
+    /// rates mean the static task-to-worker assignment mispredicted the
+    /// load — the executor-feedback signal auto-scheduling consumes.
+    pub fn steal_rate(&self) -> f64 {
+        if self.spans == 0 {
+            return 0.0;
+        }
+        self.steals as f64 / self.spans as f64
+    }
 }
 
 /// Executes task graphs according to an [`ExecMode`].

@@ -5,9 +5,9 @@
 //! 11.8x / 38.5x / 19.2x gaps.
 //!
 //! Two independent fused additions (`A = B + C + D` and `A2 = C + D + E`)
-//! are submitted to a deferred-execution [`Session`]. Their symbolic +
-//! numeric launches touch no common output, so with `--pipeline` the
-//! session overlaps the two whole statements on the work-stealing pool —
+//! form one [`Program`], written as TIN text. Their symbolic + numeric
+//! launches touch no common output, so the program's deferred flush
+//! overlaps the two whole statements on the work-stealing pool —
 //! Legion-style deferred execution — with bit-identical assembled outputs.
 //!
 //! ```text
@@ -18,76 +18,52 @@
 use spdistal_repro::baselines::{ctf, petsc, trilinos};
 use spdistal_repro::sparse::{generate, reference, SpTensor};
 use spdistal_repro::spdistal::prelude::*;
-use spdistal_repro::spdistal::{access, assign, schedule_outer_dim, Plan};
 
 const PIECES: usize = 8;
 
-fn build() -> Result<(Context, [Plan; 2]), Box<dyn std::error::Error>> {
+fn build(mode: ExecMode, pipelined: bool) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
     let b = generate::rmat_default(13, 160_000, 31);
     let c = generate::shift_last_dim(&b, 1);
     let d = generate::shift_last_dim(&b, 2);
     let e = generate::shift_last_dim(&b, 3);
     let (rows, cols) = (b.dims()[0], b.dims()[1]);
-    let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
-    for (name, t) in [("B", &b), ("C", &c), ("D", &d), ("E", &e)] {
-        ctx.add_tensor(name, t.clone(), Format::blocked_csr())?;
-    }
+    let mut program = Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
+        .exec_mode(mode)
+        .tensor("B", Format::blocked_csr(), b)
+        .tensor("C", Format::blocked_csr(), c)
+        .tensor("D", Format::blocked_csr(), d)
+        .tensor("E", Format::blocked_csr(), e);
     for out in ["A", "A2"] {
-        ctx.add_tensor(
+        program = program.tensor(
             out,
-            spdistal_repro::spdistal::plan::empty_csr(rows, cols),
             Format::blocked_csr(),
-        )?;
-    }
-    let mut plans = Vec::new();
-    for (out, t1, t2, t3) in [("A", "B", "C", "D"), ("A2", "C", "D", "E")] {
-        let [i, j] = ctx.fresh_vars(["i", "j"]);
-        let stmt = assign(
-            out,
-            &[i, j],
-            access(t1, &[i, j]) + access(t2, &[i, j]) + access(t3, &[i, j]),
+            spdistal_repro::spdistal::plan::empty_csr(rows, cols),
         );
-        let sched = schedule_outer_dim(&mut ctx, &stmt, PIECES, ParallelUnit::CpuThread);
-        plans.push(ctx.compile(&stmt, &sched)?);
     }
-    Ok((ctx, plans.try_into().map_err(|_| "two plans").unwrap()))
+    program = program
+        .stmt("A(i,j) = B(i,j) + C(i,j) + D(i,j)")
+        .schedule(ScheduleSpec::outer_dim())
+        .stmt("A2(i,j) = C(i,j) + D(i,j) + E(i,j)")
+        .schedule(ScheduleSpec::outer_dim());
+    if !pipelined {
+        program = program.launch_at_a_time();
+    }
+    Ok(program.build()?)
 }
 
-/// Submit both fused additions to a session under `mode`. With
-/// `pipelined`, both statements defer into one flush (one batch, launches
-/// overlap); without, each flushes launch-at-a-time. Returns the two
-/// assembled outputs, the first statement's simulated time, and the
-/// accumulated flush report.
+/// Run both fused additions under `mode`. Returns the two assembled
+/// outputs, the first statement's simulated time, and the program report.
 fn run(
     mode: ExecMode,
     pipelined: bool,
-) -> Result<(Vec<SpTensor>, f64, FlushReport), Box<dyn std::error::Error>> {
-    let (mut ctx, plans) = build()?;
-    ctx.set_exec_mode(mode);
-    let mut session = Session::new(&mut ctx);
-    let mut report = FlushReport::default();
-    let mut futures = Vec::new();
-    for plan in &plans {
-        futures.push(session.submit(plan));
-        if !pipelined {
-            let r = session.flush()?;
-            report.wall_seconds += r.wall_seconds;
-            report.batches += r.batches;
-            report.tasks += r.tasks;
-            report.steals += r.steals;
-            report.threads = report.threads.max(r.threads);
-            report.launches.extend(r.launches);
-        }
-    }
-    if pipelined {
-        report = session.flush()?;
-    }
-    let sim_time = session.wait(&futures[0])?.time;
-    let outputs = futures
-        .iter()
-        .map(|f| Ok(session.value(f)?.as_tensor().unwrap().clone()))
-        .collect::<Result<Vec<_>, Error>>()?;
-    Ok((outputs, sim_time, report))
+) -> Result<(Vec<SpTensor>, f64, ProgramReport), Box<dyn std::error::Error>> {
+    let mut program = build(mode, pipelined)?;
+    program.run()?;
+    let sim_time = program.result(0).unwrap().time;
+    let outputs = (0..program.stmt_count())
+        .map(|k| program.value(k).unwrap().as_tensor().unwrap().clone())
+        .collect();
+    Ok((outputs, sim_time, program.report().clone()))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

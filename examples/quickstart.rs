@@ -1,4 +1,6 @@
-//! Quickstart: the distributed CPU SpMV of Figure 1, line by line.
+//! Quickstart: the distributed CPU SpMV of Figure 1 through the `Program`
+//! front-end — machine, tensor formats, one TIN statement, and a schedule
+//! spec, in one builder chain.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -6,19 +8,19 @@
 //! cargo run --release --example quickstart -- --skew 0.9 --parallel
 //! ```
 //!
-//! With `--parallel`, the same plan additionally runs through a deferred
-//! [`Session`] on the dependence-driven work-stealing executor, and the
-//! example reports real wall-clock time for both modes (the simulated time
-//! is identical by construction: the executor never feeds back into the
-//! cost model). `N_THREADS` defaults to 0 — see [`ExecMode::Parallel`] for
-//! the auto-detect and clamping policy.
+//! The statement is auto-scheduled (`ScheduleSpec::Auto`): the program
+//! picks between the outer-dimension (row) distribution and the non-zero
+//! distribution from the matrix's nnz statistics, re-examining the choice
+//! after a warm-up run — and prints which one it picked and why.
 //!
-//! With `--skew <alpha>`, the banded matrix is replaced by a *clustered*
-//! R-MAT input (`generate::rmat_clustered`): hub rows concentrate at low
-//! indices, so the blocked row distribution hands one color most of the
-//! non-zeros. That is the load-balance scenario where two-level execution
-//! pays off — the executor splits the dominant color into spans idle
-//! workers steal, instead of idling behind it.
+//! With `--parallel`, leaf kernels additionally run on the work-stealing
+//! executor (the simulated time is identical by construction: the executor
+//! never feeds back into the cost model). With `--skew <alpha>`, the
+//! banded matrix is replaced by a *clustered* R-MAT input
+//! (`generate::rmat_clustered`): hub rows concentrate at low indices, the
+//! blocked row distribution hands one color most of the non-zeros, and the
+//! auto-scheduler switches to the statically load-balanced non-zero
+//! distribution.
 
 use spdistal_repro::sparse::{dense_vector, generate, reference};
 use spdistal_repro::spdistal::prelude::*;
@@ -60,54 +62,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         k += 1;
     }
 
-    // Param pieces, n, m;  Machine M(Grid(pieces));
+    // Param pieces;  Machine M(Grid(pieces));
     let pieces = 4;
     let machine = Machine::grid1d(pieces, MachineProfile::lassen_cpu());
-    let mut ctx = Context::new(machine);
 
-    // Define the data structure and distribution for each tensor:
-    // a blocked dense vector, a row-wise distributed CSR matrix, and a
-    // replicated dense vector (Figure 1 lines 12-16).
-    let blocked_dense = Format::blocked_dense_vec(); // {Dense},  x -> x M
-    let repl_dense = Format::replicated_dense_vec(); // {Dense},  x -> y M
-    let blocked_csr = Format::blocked_csr(); //      {Dense, Compressed}, xy -> x M
-
-    // Create our tensors using the defined formats (lines 18-22). The
-    // default input is the banded weak-scaling matrix; `--skew` swaps in
-    // the hub-clustered R-MAT whose row blocks are badly imbalanced.
+    // Tensor data: the banded weak-scaling matrix by default; `--skew`
+    // swaps in the hub-clustered R-MAT whose row blocks are imbalanced.
     let b_data = match skew {
         Some(alpha) => generate::rmat_clustered(13, 120_000, alpha, 42),
         None => generate::banded(10_000, 11, 42),
     };
     let (n, m) = (b_data.dims()[0], b_data.dims()[1]);
     let c_data = generate::dense_vec(m, 7);
-    ctx.add_tensor("a", dense_vector(vec![0.0; n]), blocked_dense)?;
-    ctx.add_tensor("B", b_data.clone(), blocked_csr)?;
-    ctx.add_tensor("c", dense_vector(c_data.clone()), repl_dense)?;
 
-    // Declare the computation, a matrix-vector multiply (lines 25-26):
-    //   a(i) = B(i, j) * c(j)
-    let [i, j] = ctx.fresh_vars(["i", "j"]);
-    let stmt = spdistal_repro::spdistal::assign(
-        "a",
-        &[i],
-        spdistal_repro::spdistal::access("B", &[i, j])
-            * spdistal_repro::spdistal::access("c", &[j]),
-    );
+    // Figure 1 in one chain: machine, formats + data, the TIN statement,
+    // and the (auto-)schedule.
+    let mut program = Program::on(machine)
+        .tensor("a", Format::blocked_dense_vec(), dense_vector(vec![0.0; n]))
+        .tensor("B", Format::blocked_csr(), b_data.clone())
+        .tensor(
+            "c",
+            Format::replicated_dense_vec(),
+            dense_vector(c_data.clone()),
+        )
+        .stmt("a(i) = B(i,j) * c(j)")
+        .auto()
+        .exec_mode(match parallel_threads {
+            Some(t) => ExecMode::Parallel(t),
+            None => ExecMode::Serial,
+        })
+        .build()?;
 
-    // Map the computation onto M via scheduling commands (lines 30-39):
-    // divide i into blocks, distribute the blocks, communicate the needed
-    // sub-tensors, parallelize the leaves over CPU threads.
-    let mut sched = Schedule::new();
-    let (io, ii) = sched.divide(ctx.vars_mut(), i, pieces);
-    sched
-        .distribute(io, 0)
-        .communicate(&["a", "B", "c"], io)
-        .parallelize(ii, ParallelUnit::CpuThread);
-
-    // Compile once; execute on the simulated machine (serial leaf kernels).
-    let plan = ctx.compile(&stmt, &sched)?;
-    let result = ctx.run(&plan)?;
+    // Warm-up + one steady-state iteration: the plan compiles once per
+    // schedule the auto-tuner selects; everything else hits the cache.
+    program.run_iters(2)?;
+    let report = program.report().clone();
+    let result = program.result(0).expect("statement ran").clone();
 
     // Check against the serial oracle.
     let expect = reference::spmv(&b_data, &c_data);
@@ -116,12 +106,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match skew {
         Some(alpha) => println!(
-            "distributed SpMV on {pieces} simulated nodes \
-             (clustered R-MAT, alpha {alpha}, row-block imbalance {:.2}x)",
-            plan.inputs[0].part.vals.imbalance()
+            "distributed SpMV on {pieces} simulated nodes (clustered R-MAT, alpha {alpha})"
         ),
         None => println!("distributed SpMV on {pieces} simulated nodes"),
     }
+    for d in &report.decisions {
+        println!("  auto-scheduler picked: {} ({})", d.choice, d.reason);
+    }
+    println!(
+        "  schedule       : {} [{}]",
+        report.stmts[0].schedule, report.stmts[0].schedule_kind
+    );
+    println!(
+        "  plan cache     : {} compiles, {} hits over {} iterations",
+        report.compiles, report.cache_hits, report.iterations
+    );
     println!("  simulated time : {:.3} ms", result.time * 1e3);
     println!(
         "  communication  : {} bytes in {} messages",
@@ -129,27 +128,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  modeled ops    : {:.0}", result.ops);
     println!(
-        "  serial compute : {:.3} ms wall-clock",
+        "  compute        : {:.3} ms wall-clock",
         result.wall_time * 1e3
     );
     println!("  result matches the serial reference ✔");
 
-    // With --parallel: the same plan, deferred through a Session onto the
-    // work-stealing executor. Auto split policy chunks dominant colors
-    // into spans (two-level execution); the output is bit-identical and
-    // only real wall-clock changes.
-    if let Some(threads) = parallel_threads {
-        ctx.set_exec_mode(ExecMode::Parallel(threads));
-        let par = {
-            let mut session = Session::new(&mut ctx);
-            let future = session.submit(&plan);
-            session.wait(&future)?.clone()
+    // With --parallel: report the executor's two-level counters and check
+    // bit-identity against a serial run of the same program. The serial
+    // comparison is pinned to the schedule the parallel program's
+    // auto-tuner ended on — re-running Auto serially could legitimately
+    // choose differently (the measured-skew feedback only fires when the
+    // executor actually steals), which is a schedule difference, not a
+    // correctness one.
+    if parallel_threads.is_some() {
+        let par = &result;
+        let pinned = match report.stmts[0].schedule_kind {
+            "non-zero" => ScheduleSpec::nonzero(),
+            _ => ScheduleSpec::outer_dim(),
         };
-        let par_out = par.output.as_tensor().expect("dense vector output");
+        let mut serial = Program::on(Machine::grid1d(pieces, MachineProfile::lassen_cpu()))
+            .tensor("a", Format::blocked_dense_vec(), dense_vector(vec![0.0; n]))
+            .tensor("B", Format::blocked_csr(), b_data.clone())
+            .tensor(
+                "c",
+                Format::replicated_dense_vec(),
+                dense_vector(c_data.clone()),
+            )
+            .stmt("a(i) = B(i,j) * c(j)")
+            .schedule(pinned)
+            .build()?;
+        serial.run_iters(2)?;
+        let serial_out = serial.result(0).unwrap().output.clone();
+        let serial_vals = serial_out.as_tensor().unwrap().vals();
         assert!(
             got.vals()
                 .iter()
-                .zip(par_out.vals())
+                .zip(serial_vals)
                 .all(|(a, b)| a.to_bits() == b.to_bits()),
             "parallel output must be bit-identical to serial"
         );
@@ -158,26 +172,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             par.sched.threads, par.sched.spans, par.sched.tasks
         );
         println!(
-            "  parallel compute : {:.3} ms wall-clock",
-            par.wall_time * 1e3
-        );
-        println!(
             "  task graph       : {} tasks, {} edges, critical path {}",
             par.sched.tasks, par.sched.edges, par.sched.critical_path
         );
         println!(
-            "  split colors     : {} (SplitPolicy::Auto)",
-            par.sched.split_tasks
+            "  steals           : {} ({:.0}% of spans)",
+            par.sched.steals,
+            par.sched.steal_rate() * 1e2
         );
-        println!("  steals           : {}", par.sched.steals);
         println!(
             "  critical color   : {:.3} ms measured ({:.2}x the balanced share)",
             par.sched.critical_task_seconds * 1e3,
             par.sched.task_skew()
-        );
-        println!(
-            "  speedup          : {:.2}x over serial compute",
-            result.wall_time / par.wall_time.max(1e-12)
         );
         println!("  bit-identical to the serial path ✔");
     }

@@ -4,13 +4,12 @@
 //!
 //! Each CP-ALS sweep updates all three factor matrices with one distributed
 //! SpMTTKRP per mode (Jacobi-style: every mode reads the *previous* sweep's
-//! factors, so the three mode updates are mutually independent). The
-//! statements are submitted to a deferred-execution [`Session`]: without
-//! `--pipeline` they run launch-at-a-time on the serial executor; with it,
-//! the session's dependence analysis proves the three launches independent
-//! and drains their point tasks through one work-stealing pass, overlapping
-//! whole launches exactly as Legion's deferred execution would — with
-//! bit-identical results.
+//! factors, so the three mode updates are mutually independent). The whole
+//! sweep is one [`Program`]: three statements built with the `Expr`
+//! builders, an explicit outer-dimension schedule each, iterated with
+//! [`CompiledProgram::run_iters_with`] — the factor-damping step between
+//! sweeps is the between-iteration hook, and the plan cache compiles each
+//! (statement, schedule) pair exactly once across every sweep.
 //!
 //! ```text
 //! cargo run --release --example tensor_factorization
@@ -19,16 +18,16 @@
 //! ```
 //!
 //! `--skew <alpha>` sets the Zipf exponent of the tensor's mode-0 slice
-//! sizes (`generate::tensor3_skewed`; default 0.8). High alpha concentrates
-//! the non-zeros in a few slices, so the blocked distribution hands one
-//! color most of the work — the case where the executor's intra-color
-//! splitting (spans of the dominant color, stolen by idle workers) shows
-//! up directly in the pipelined wall-clock.
+//! sizes (`generate::tensor3_skewed`; default 0.8). With `--pipeline`, the
+//! program's deferred flush proves the three mode updates independent and
+//! overlaps them on the work-stealing pool (vs. launch-at-a-time), with
+//! bit-identical results and a modeled makespan strictly below the
+//! sequential modeled sum.
 
 use spdistal_repro::sparse::convert::permuted;
 use spdistal_repro::sparse::{dense_matrix, generate, reference};
 use spdistal_repro::spdistal::prelude::*;
-use spdistal_repro::spdistal::{access, assign, schedule_outer_dim, Plan};
+use spdistal_repro::spdistal::{access, assign};
 
 const PIECES: usize = 8;
 const RANK: usize = 16;
@@ -37,155 +36,98 @@ const NNZ: usize = 200_000;
 const SWEEPS: usize = 3;
 const DEFAULT_ALPHA: f64 = 0.8;
 
-/// Build the context plus the three mode-update plans. `alpha` is the
-/// slice-size Zipf exponent of the input tensor.
-fn build(alpha: f64) -> Result<(Context, [Plan; 3]), Box<dyn std::error::Error>> {
+const MODES: [(&str, &str, &str, &str); 3] = [
+    ("Anew", "B0", "C", "D"),
+    ("Cnew", "B1", "A", "D"),
+    ("Dnew", "B2", "A", "C"),
+];
+
+/// The whole CP-ALS sweep as one `Program`: three mode-update statements
+/// (Anew(i,l) = B0(i,j,k) * C(j,l) * D(k,l) and its permutations), each on
+/// the explicit outer-dimension schedule.
+fn build(
+    alpha: f64,
+    mode: ExecMode,
+    pipelined: bool,
+) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
     let b = generate::tensor3_skewed(DIMS, NNZ, alpha, 11);
-    let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
-    ctx.add_tensor("B0", b.clone(), Format::blocked_csf3())?;
-    ctx.add_tensor(
-        "B1",
-        permuted(&b, &[1, 0, 2], &generate::CSF3),
-        Format::blocked_csf3(),
-    )?;
-    ctx.add_tensor(
-        "B2",
-        permuted(&b, &[2, 0, 1], &generate::CSF3),
-        Format::blocked_csf3(),
-    )?;
+    let mut program = Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
+        .exec_mode(mode)
+        .tensor("B0", Format::blocked_csf3(), b.clone())
+        .tensor(
+            "B1",
+            Format::blocked_csf3(),
+            permuted(&b, &[1, 0, 2], &generate::CSF3),
+        )
+        .tensor(
+            "B2",
+            Format::blocked_csf3(),
+            permuted(&b, &[2, 0, 1], &generate::CSF3),
+        );
     // Current factors: replicated (every mode reads them) ...
     for (name, rows, seed) in [("A", DIMS[0], 20), ("C", DIMS[1], 21), ("D", DIMS[2], 22)] {
-        ctx.add_tensor(
+        program = program.tensor(
             name,
-            dense_matrix(rows, RANK, generate::dense_buffer(rows, RANK, seed)),
             Format::replicated_dense_matrix(),
-        )?;
+            dense_matrix(rows, RANK, generate::dense_buffer(rows, RANK, seed)),
+        );
     }
     // ... next factors: row-blocked outputs, one per mode.
     for (name, rows) in [("Anew", DIMS[0]), ("Cnew", DIMS[1]), ("Dnew", DIMS[2])] {
-        ctx.add_tensor(
+        program = program.tensor(
             name,
-            dense_matrix(rows, RANK, vec![0.0; rows * RANK]),
             Format::blocked_dense_matrix(),
-        )?;
-    }
-
-    // Anew(i,l) = B0(i,j,k) * C(j,l) * D(k,l)   (mode 0)
-    // Cnew(j,l) = B1(j,i,k) * A(i,l) * D(k,l)   (mode 1)
-    // Dnew(k,l) = B2(k,i,j) * A(i,l) * C(j,l)   (mode 2)
-    let mut plans = Vec::new();
-    for (out, driver, f1, f2) in [
-        ("Anew", "B0", "C", "D"),
-        ("Cnew", "B1", "A", "D"),
-        ("Dnew", "B2", "A", "C"),
-    ] {
-        let [m, l, u, v] = ctx.fresh_vars(["m", "l", "u", "v"]);
-        let stmt = assign(
-            out,
-            &[m, l],
-            access(driver, &[m, u, v]) * access(f1, &[u, l]) * access(f2, &[v, l]),
+            dense_matrix(rows, RANK, vec![0.0; rows * RANK]),
         );
-        let sched = schedule_outer_dim(&mut ctx, &stmt, PIECES, ParallelUnit::CpuThread);
-        plans.push(ctx.compile(&stmt, &sched)?);
     }
-    Ok((ctx, plans.try_into().map_err(|_| "three plans").unwrap()))
+    for (out, driver, f1, f2) in MODES {
+        program = program
+            .stmt_with(move |vars| {
+                let [m, l, u, v] = vars.fresh_n(["m", "l", "u", "v"]);
+                assign(
+                    out,
+                    &[m, l],
+                    access(driver, &[m, u, v]) * access(f1, &[u, l]) * access(f2, &[v, l]),
+                )
+            })
+            .schedule(ScheduleSpec::outer_dim());
+    }
+    if !pipelined {
+        program = program.launch_at_a_time();
+    }
+    Ok(program.build()?)
 }
 
-/// Everything one CP-ALS run reports: final factors, compute wall-clock,
-/// batch count, and the *modeled* timeline — sequential modeled sum vs.
-/// graph-ordered modeled makespan, summed over flushes.
-struct RunOutcome {
-    finals: Vec<Vec<f64>>,
-    wall: f64,
-    batches: usize,
-    model_seq_sum: f64,
-    model_makespan: f64,
-}
+/// Final factor values + the cumulative program report of one run.
+type RunOutcome = (Vec<Vec<f64>>, ProgramReport);
 
-/// One full CP-ALS run: `SWEEPS` sweeps of three deferred mode updates —
-/// overlapped per sweep when `pipelined`, flushed launch-at-a-time when
-/// not. Returns the final factor values and the total compute wall-clock.
+/// One full CP-ALS run: `SWEEPS` sweeps of the three-mode program, the
+/// damping step as the between-sweep hook. Returns the final factor values
+/// and the cumulative program report.
 fn run(
     mode: ExecMode,
     alpha: f64,
     pipelined: bool,
     verify: bool,
 ) -> Result<RunOutcome, Box<dyn std::error::Error>> {
-    let (mut ctx, plans) = build(alpha)?;
-    ctx.set_exec_mode(mode);
-    let mut session = Session::new(&mut ctx);
-    let mut wall = 0.0;
-    let mut batches = 0;
-    let mut model_seq_sum = 0.0;
-    let mut model_makespan = 0.0;
-    for sweep in 0..SWEEPS {
-        let mut futures: Vec<TensorFuture> = Vec::new();
-        for plan in &plans {
-            futures.push(session.submit(plan));
-            if !pipelined {
-                let report = session.flush()?;
-                wall += report.wall_seconds;
-                batches += report.batches;
-                model_seq_sum += report.model_seq_sum();
-                model_makespan += report.model_makespan();
-            }
-        }
-        if pipelined {
-            let report = session.flush()?;
-            wall += report.wall_seconds;
-            batches += report.batches;
-            model_seq_sum += report.model_seq_sum();
-            model_makespan += report.model_makespan();
-        }
+    let mut program = build(alpha, mode, pipelined)?;
+    program.run_iters_with(SWEEPS, |ctx, _sweep| {
         if verify {
-            // Each mode against the serial oracle with the pre-sweep factors.
-            let factor = |name: &str| session.context().tensor(name).unwrap().data.vals().to_vec();
+            // Each mode against the serial oracle with the pre-sweep
+            // factors (the hook runs before they are damped).
+            let factor = |name: &str| ctx.tensor(name).unwrap().data.vals().to_vec();
             let (a, c, d) = (factor("A"), factor("C"), factor("D"));
-            for (future, (driver, f1, f2)) in
-                futures
-                    .iter()
-                    .zip([("B0", &c, &d), ("B1", &a, &d), ("B2", &a, &c)])
-            {
-                let b = &session.context().tensor(driver).unwrap().data;
+            for ((out, driver, ..), (f1, f2)) in MODES.iter().zip([(&c, &d), (&a, &d), (&a, &c)]) {
+                let b = &ctx.tensor(driver).unwrap().data;
                 let expect = reference::spmttkrp(b, f1, f2, RANK);
-                let got = session.value(future)?;
-                assert!(reference::approx_eq(
-                    got.as_tensor().unwrap().vals(),
-                    &expect,
-                    1e-10
-                ));
-            }
-        }
-        if sweep == 0 {
-            let mode_name = if pipelined {
-                "pipelined"
-            } else {
-                "launch-at-a-time"
-            };
-            println!(
-                "  {mode_name} sweep 0 launch milestones \
-                 (wall ms since session epoch | modeled ms on the simulator):"
-            );
-            for future in &futures {
-                let timing = session.wait(future)?.launches[0].clone();
-                println!(
-                    "    {:<12} issue {:7.3}  start {:7.3}  drain {:7.3} | \
-                     issue {:7.3}  start {:7.3}  finish {:7.3}",
-                    timing.name,
-                    timing.issue * 1e3,
-                    timing.start * 1e3,
-                    timing.drain * 1e3,
-                    timing.model.issue * 1e3,
-                    timing.model.start * 1e3,
-                    timing.model.finish * 1e3
-                );
+                let got = ctx.tensor(out).unwrap().data.vals();
+                assert!(reference::approx_eq(got, &expect, 1e-10));
             }
         }
         // The least-squares-solve stand-in: damp the new factors and make
-        // them the next sweep's inputs (flushes are implicit here).
+        // them the next sweep's inputs.
         for (old, new) in [("A", "Anew"), ("C", "Cnew"), ("D", "Dnew")] {
-            let updated: Vec<f64> = session
-                .context()
+            let updated: Vec<f64> = ctx
                 .tensor(new)
                 .unwrap()
                 .data
@@ -193,24 +135,17 @@ fn run(
                 .iter()
                 .map(|v| 0.9 * v + 0.01)
                 .collect();
-            session
-                .tensor_data_mut(old)?
+            ctx.tensor_data_mut(old)?
                 .vals_mut()
                 .copy_from_slice(&updated);
         }
-    }
+        Ok(())
+    })?;
     let finals = ["A", "C", "D"]
         .iter()
-        .map(|n| session.context().tensor(n).unwrap().data.vals().to_vec())
+        .map(|n| program.context().tensor(n).unwrap().data.vals().to_vec())
         .collect();
-    session.finish()?;
-    Ok(RunOutcome {
-        finals,
-        wall,
-        batches,
-        model_seq_sum,
-        model_makespan,
-    })
+    Ok((finals, program.report().clone()))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -251,23 +186,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "CP-ALS (Jacobi) on a {DIMS:?} tensor (slice skew alpha {alpha}), rank {RANK}, \
          {PIECES} nodes, {SWEEPS} sweeps:\
-         \n  3 independent SpMTTKRP mode updates per sweep, deferred via Session"
+         \n  one Program, 3 independent SpMTTKRP mode updates per sweep"
     );
-    let serial = run(ExecMode::Serial, alpha, false, true)?;
+    let (serial_finals, serial) = run(ExecMode::Serial, alpha, false, true)?;
     println!(
         "serial launch-at-a-time: compute {:8.3} ms wall-clock \
-         ({} batches, all modes verified)",
-        serial.wall * 1e3,
-        serial.batches
+         ({} batches, {} plan compiles + {} cache hits over {} statement runs, \
+         all modes verified)",
+        serial.wall_seconds * 1e3,
+        serial.batches,
+        serial.compiles,
+        serial.cache_hits,
+        serial.compiles + serial.cache_hits,
+    );
+    assert_eq!(
+        serial.compiles, 3,
+        "each (stmt, schedule) pair compiles exactly once across sweeps"
     );
 
     if let Some(threads) = pipeline_threads {
         let mode = ExecMode::Parallel(threads);
-        let lat = run(mode, alpha, false, false)?;
-        let pipe = run(mode, alpha, true, false)?;
-        for factors in [&lat.finals, &pipe.finals] {
-            assert_eq!(serial.finals.len(), factors.len());
-            for (s, p) in serial.finals.iter().zip(factors.iter()) {
+        let (lat_finals, lat) = run(mode, alpha, false, false)?;
+        let (pipe_finals, pipe) = run(mode, alpha, true, false)?;
+        for factors in [&lat_finals, &pipe_finals] {
+            assert_eq!(serial_finals.len(), factors.len());
+            for (s, p) in serial_finals.iter().zip(factors.iter()) {
                 assert!(
                     s.iter().zip(p).all(|(a, b)| a.to_bits() == b.to_bits()),
                     "deferred factors must be bit-identical to serial"
@@ -278,12 +221,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "at {} threads: launch-at-a-time {:8.3} ms, pipelined {:8.3} ms \
              ({} batches) -> {:.2}x",
             mode.threads(),
-            lat.wall * 1e3,
-            pipe.wall * 1e3,
+            lat.wall_seconds * 1e3,
+            pipe.wall_seconds * 1e3,
             pipe.batches,
-            lat.wall / pipe.wall.max(1e-12)
+            lat.wall_seconds / pipe.wall_seconds.max(1e-12)
         );
         println!("  outputs bit-identical to the serial path ✔");
+        println!("  final sweep launch milestones (wall ms | modeled ms):");
+        for timing in &pipe.launches {
+            println!(
+                "    {:<12} issue {:7.3}  start {:7.3}  drain {:7.3} | \
+                 issue {:7.3}  start {:7.3}  finish {:7.3}",
+                timing.name,
+                timing.issue * 1e3,
+                timing.start * 1e3,
+                timing.drain * 1e3,
+                timing.model.issue * 1e3,
+                timing.model.start * 1e3,
+                timing.model.finish * 1e3
+            );
+        }
         // The modeled timeline mirrors the wall-clock story: the three
         // independent mode updates of each sweep overlap under the
         // graph-ordered replay, so the pipelined modeled makespan beats the

@@ -289,6 +289,106 @@ fn waw_same_output_serializes_bit_identically() {
     check_program("waw", waw_same_output);
 }
 
+/// The `Program` plan cache must be invisible to results: `run_iters(n)`
+/// compiles each (statement, schedule) pair exactly once and its outputs
+/// stay bit-identical to per-iteration `compile_and_run` with freshly
+/// compiled plans.
+#[test]
+fn program_plan_cache_replays_bit_identically() {
+    use spdistal_repro::spdistal::{Program as ProgramApi, ScheduleSpec};
+    const ITERS: usize = 3;
+
+    let b = generate::banded(240, 7, 13);
+    let n = b.dims()[0];
+    let x0 = generate::dense_vec(n, 14);
+    let stmts = [("x1", "x0"), ("x2", "x1"), ("x3", "x2")];
+
+    // Reference: fresh compile + launch-at-a-time run per statement, every
+    // iteration.
+    let mut ctx = Context::new(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()));
+    ctx.add_tensor("B", b.clone(), Format::blocked_csr())
+        .unwrap();
+    ctx.add_tensor(
+        "x0",
+        dense_vector(x0.clone()),
+        Format::replicated_dense_vec(),
+    )
+    .unwrap();
+    for x in ["x1", "x2", "x3"] {
+        ctx.add_tensor(x, dense_vector(vec![0.0; n]), Format::blocked_dense_vec())
+            .unwrap();
+    }
+    let mut fresh_outputs = Vec::new();
+    for _ in 0..ITERS {
+        fresh_outputs.clear();
+        for (out, input) in stmts {
+            let [i, j] = ctx.fresh_vars(["i", "j"]);
+            let stmt = assign(out, &[i], access("B", &[i, j]) * access(input, &[j]));
+            let sched = schedule_outer_dim(&mut ctx, &stmt, PIECES, ParallelUnit::CpuThread);
+            fresh_outputs.push(ctx.compile_and_run(&stmt, &sched).unwrap().output);
+        }
+    }
+    let fresh_tensors: Vec<SpTensor> = ["x1", "x2", "x3"]
+        .iter()
+        .map(|x| ctx.tensor(x).unwrap().data.clone())
+        .collect();
+
+    // The same program through the cached front-end.
+    let mut program = ProgramApi::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
+        .tensor("B", Format::blocked_csr(), b)
+        .tensor("x0", Format::replicated_dense_vec(), dense_vector(x0))
+        .tensor(
+            "x1",
+            Format::blocked_dense_vec(),
+            dense_vector(vec![0.0; n]),
+        )
+        .tensor(
+            "x2",
+            Format::blocked_dense_vec(),
+            dense_vector(vec![0.0; n]),
+        )
+        .tensor(
+            "x3",
+            Format::blocked_dense_vec(),
+            dense_vector(vec![0.0; n]),
+        )
+        .stmt("x1(i) = B(i,j) * x0(j)")
+        .schedule(ScheduleSpec::outer_dim())
+        .stmt("x2(i) = B(i,j) * x1(j)")
+        .schedule(ScheduleSpec::outer_dim())
+        .stmt("x3(i) = B(i,j) * x2(j)")
+        .schedule(ScheduleSpec::outer_dim())
+        .build()
+        .unwrap();
+    program.run_iters(ITERS).unwrap();
+
+    let report = program.report();
+    assert_eq!(report.iterations, ITERS);
+    assert_eq!(
+        report.compiles,
+        stmts.len(),
+        "each (stmt, schedule) pair compiles exactly once across run_iters"
+    );
+    assert_eq!(report.cache_hits, stmts.len() * (ITERS - 1));
+
+    for (k, fresh) in fresh_outputs.iter().enumerate() {
+        let cached = &program.result(k).unwrap().output;
+        match (fresh, cached) {
+            (OutputValue::Tensor(a), OutputValue::Tensor(b)) => {
+                assert_tensors_bit_identical(&format!("program stmt {k}"), a, b)
+            }
+            _ => panic!("output kinds differ for stmt {k}"),
+        }
+    }
+    for (x, fresh) in ["x1", "x2", "x3"].iter().zip(&fresh_tensors) {
+        assert_tensors_bit_identical(
+            &format!("program final {x}"),
+            fresh,
+            &program.context().tensor(x).unwrap().data,
+        );
+    }
+}
+
 /// Independent launches must actually be *eligible* to overlap: the CP-ALS
 /// sweep's three launches form an edge-free launch graph (observable as
 /// one batch with three launches whose `issue`s all precede the flush) —
