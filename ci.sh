@@ -29,7 +29,11 @@ echo "==> bench smoke: pipeline_exec (launch-at-a-time vs pipelined CP-ALS)"
 cargo bench -p spdistal-bench --bench pipeline_exec
 
 echo "==> bench smoke: skewed_exec (split vs unsplit on skewed inputs)"
-cargo bench -p spdistal-bench --bench skewed_exec
+# Must emit 'run_report_json=<json>'; persisted as the perf trajectory.
+skewed_out="$(cargo bench -p spdistal-bench --bench skewed_exec)"
+echo "$skewed_out"
+grep -m1 "^run_report_json=" <<<"$skewed_out" | sed 's/^run_report_json=//' >BENCH_skewed_exec.json
+echo "wrote BENCH_skewed_exec.json"
 
 echo "==> bench smoke: model_pipeline (modeled sequential vs graph-ordered CP-ALS)"
 # Must emit 'modeled_overlap=<r>' for perf trajectory files.
@@ -43,13 +47,26 @@ echo "==> program_api smoke: quickstart via Program + ScheduleSpec::Auto"
 quickstart_out="$(cargo run --release -q --example quickstart -- --skew 0.9 --parallel)"
 echo "$quickstart_out"
 grep -q "auto-scheduler picked: non-zero" <<<"$quickstart_out"
-cargo run --release -q --example quickstart | grep -q "auto-scheduler picked: outer-dim"
+quickstart_default_out="$(cargo run --release -q --example quickstart)"
+grep -q "auto-scheduler picked: outer-dim" <<<"$quickstart_default_out"
 
 echo "==> bench smoke: program_overhead (plan cache vs per-iteration recompile)"
-# Must emit 'cache_hit_speedup=<r>' for perf trajectory files.
+# Must emit 'cache_hit_speedup=<r>' and 'run_report_json=<json>'; the
+# latter is persisted as the perf trajectory.
 overhead_out="$(cargo bench -p spdistal-bench --bench program_overhead)"
 echo "$overhead_out"
 grep "^cache_hit_speedup=" <<<"$overhead_out"
+grep -m1 "^run_report_json=" <<<"$overhead_out" | sed 's/^run_report_json=//' >BENCH_program_overhead.json
+echo "wrote BENCH_program_overhead.json"
+
+echo "==> trace smoke: quickstart --skew 0.95 --trace, validated by trace_check"
+# The skewed parallel run must record ≥1 steal and ≥1 auto-decision event
+# (plus spans, launches, cache traffic, and model-timeline events).
+cargo run --release -q --example quickstart -- --skew 0.95 --trace /tmp/spd_trace.json |
+  grep "^run_report_json="
+cargo run --release -q -p spdistal-bench --bin trace_check -- /tmp/spd_trace.json \
+  --require steal --require auto-decision \
+  --require span --require launch --require cache --require model
 
 echo "==> bench smoke: fig10 strong scaling (small scale)"
 SPDISTAL_SCALE=0.05 cargo run --release -q -p spdistal-bench --bin fig10_cpu_strong_scaling

@@ -24,7 +24,7 @@ use spdistal_sparse::{dense_vector, generate};
 const PIECES: usize = 8;
 const ITERS: usize = 12;
 
-fn workload() -> CompiledProgram {
+fn workload(trace: &Trace) -> CompiledProgram {
     let b = generate::rmat_default(12, 200_000, 19);
     let n = b.dims()[0];
     Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
@@ -37,6 +37,7 @@ fn workload() -> CompiledProgram {
         )
         .stmt("a(i) = B(i,j) * c(j)")
         .schedule(ScheduleSpec::outer_dim())
+        .trace(trace.clone())
         .build()
         .unwrap()
 }
@@ -60,7 +61,7 @@ fn per_iter_seconds(program: &mut CompiledProgram, clear: bool) -> f64 {
 fn cached_vs_recompiled(c: &mut Criterion) {
     let mut g = c.benchmark_group("program_overhead");
     for (label, clear) in [("recompile-every-iter", true), ("plan-cache", false)] {
-        let mut program = workload();
+        let mut program = workload(&Trace::disabled());
         program.run().unwrap(); // warm: first compile out of the loop
         g.bench_with_input(BenchmarkId::new("spmv_iters", label), &(), |b, ()| {
             b.iter(|| {
@@ -75,9 +76,13 @@ fn cached_vs_recompiled(c: &mut Criterion) {
 }
 
 /// The headline line: identical outputs, cache traffic, and the speedup.
+/// Both programs share one structured trace, so the `run_report_json=`
+/// line carries the combined cache traffic, executor counters, and
+/// per-iteration latency quantiles for the perf trajectory.
 fn speedup_line(_c: &mut Criterion) {
-    let mut cached = workload();
-    let mut recompiled = workload();
+    let trace = Trace::enabled();
+    let mut cached = workload(&trace);
+    let mut recompiled = workload(&trace);
     let cached_per_iter = per_iter_seconds(&mut cached, false);
     let recompiled_per_iter = per_iter_seconds(&mut recompiled, true);
 
@@ -102,6 +107,17 @@ fn speedup_line(_c: &mut Criterion) {
         cached_per_iter * 1e3,
     );
     println!("cache_hit_speedup={ratio:.3}");
+    // Millis-scaled ratios as counters, so the persisted JSON report
+    // carries them alongside the raw steal/cache counts and quantiles.
+    trace.add("cache_hit_speedup_milli", (ratio * 1e3) as u64);
+    trace.add(
+        "task_skew_milli",
+        (cached.report().stmts[0].task_skew * 1e3) as u64,
+    );
+    println!(
+        "run_report_json={}",
+        cached.run_report_json("program_overhead")
+    );
     println!("(outputs bit-identical; the cache skips Table-I partitioning, not execution)\n");
 }
 

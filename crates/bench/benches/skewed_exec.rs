@@ -30,11 +30,12 @@ use spdistal_sparse::{dense_matrix, dense_vector, generate};
 const PIECES: usize = 8;
 const RANK: usize = 16;
 
-fn spmv_skewed(threads: usize) -> CompiledProgram {
+fn spmv_skewed(threads: usize, trace: &Trace) -> CompiledProgram {
     let b = generate::rmat_clustered(13, 800_000, 0.9, 21);
     let n = b.dims()[0];
     Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
         .exec_mode(ExecMode::Parallel(threads))
+        .trace(trace.clone())
         .tensor("a", Format::blocked_dense_vec(), dense_vector(vec![0.0; n]))
         .tensor("B", Format::blocked_csr(), b)
         .tensor(
@@ -48,11 +49,12 @@ fn spmv_skewed(threads: usize) -> CompiledProgram {
         .unwrap()
 }
 
-fn mttkrp_skewed(threads: usize) -> CompiledProgram {
+fn mttkrp_skewed(threads: usize, trace: &Trace) -> CompiledProgram {
     let dims = [1024usize, 256, 256];
     let b = generate::tensor3_skewed(dims, 400_000, 1.1, 23);
     Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
         .exec_mode(ExecMode::Parallel(threads))
+        .trace(trace.clone())
         .tensor("B", Format::blocked_csf3(), b)
         .tensor(
             "A",
@@ -82,10 +84,10 @@ fn mttkrp_skewed(threads: usize) -> CompiledProgram {
         .unwrap()
 }
 
-fn workloads(threads: usize) -> Vec<(&'static str, CompiledProgram)> {
+fn workloads(threads: usize, trace: &Trace) -> Vec<(&'static str, CompiledProgram)> {
     vec![
-        ("SpMV/rmat_clustered", spmv_skewed(threads)),
-        ("SpMTTKRP/tensor3_skewed", mttkrp_skewed(threads)),
+        ("SpMV/rmat_clustered", spmv_skewed(threads, trace)),
+        ("SpMTTKRP/tensor3_skewed", mttkrp_skewed(threads, trace)),
     ]
 }
 
@@ -103,7 +105,7 @@ fn once(program: &mut CompiledProgram) -> f64 {
 
 fn split_vs_unsplit(c: &mut Criterion) {
     let mut g = c.benchmark_group("skewed_exec");
-    for (name, mut program) in workloads(threads()) {
+    for (name, mut program) in workloads(threads(), &Trace::disabled()) {
         for (label, policy) in [("unsplit", SplitPolicy::Off), ("split", SplitPolicy::Auto)] {
             program.set_split_policy(policy);
             g.bench_with_input(BenchmarkId::new(name, label), &(), |b, ()| {
@@ -124,11 +126,13 @@ fn median(mut xs: Vec<f64>) -> f64 {
 fn skew_table(_c: &mut Criterion) {
     const RUNS: usize = 7;
     let t = threads();
+    let trace = Trace::enabled();
+    let mut max_skew = 0.0f64;
     println!(
         "\nskewed inputs, unsplit vs split at {t} threads, {PIECES} colors \
          (crit = measured critical color):"
     );
-    for (name, mut program) in workloads(t) {
+    for (name, mut program) in workloads(t, &trace) {
         let mut measure = |policy: SplitPolicy| {
             program.set_split_policy(policy);
             let results: Vec<(f64, f64, usize, usize)> = (0..RUNS)
@@ -145,6 +149,7 @@ fn skew_table(_c: &mut Criterion) {
         };
         let (unsplit_wall, unsplit_crit, _, _) = measure(SplitPolicy::Off);
         let (split_wall, split_crit, spans, steals) = measure(SplitPolicy::Auto);
+        max_skew = max_skew.max(program.report().stmts[0].task_skew);
         println!(
             "  {name:24}\n\
              \x20   unsplit: {:8.3} ms wall (crit color {:8.3} ms)\n\
@@ -157,6 +162,10 @@ fn skew_table(_c: &mut Criterion) {
             unsplit_wall / split_wall.max(1e-12),
         );
     }
+    // Worst measured skew as a millis-scaled counter, so the persisted
+    // JSON report carries it alongside the steal counts and quantiles.
+    trace.add("task_skew_milli", (max_skew * 1e3) as u64);
+    println!("run_report_json={}", trace.run_report_json("skewed_exec"));
     println!("(outputs are bit-identical across policies; simulated time never moves)\n");
 }
 

@@ -1,0 +1,85 @@
+//! Chrome-trace checker for CI: validate a trace file written by
+//! `Trace::write_chrome_trace` and assert it contains required events.
+//!
+//! ```text
+//! trace_check <trace.json> [--require <category-or-name>]...
+//! ```
+//!
+//! Validation checks the trace-event JSON shape (every event has a name, a
+//! known phase, pid/tid; timed events carry non-negative timestamps and
+//! durations). Each `--require` matches either an event *category*
+//! (`flush`, `launch`, `span`, `steal`, `cache`, `auto`, `model`) or an
+//! exact event *name* (`steal`, `auto-decision`, `plan-cache hit`, ...)
+//! and fails unless at least one such event is present. Exits non-zero
+//! with a message on any failure, prints a one-line summary on success.
+
+use spdistal_obs::validate_chrome_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--require" => {
+                let Some(what) = args.get(k + 1) else {
+                    eprintln!("trace_check: --require needs a <category-or-name>");
+                    std::process::exit(2);
+                };
+                required.push(what.clone());
+                k += 1;
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!(
+                    "trace_check: unexpected argument '{other}' \
+                     (usage: trace_check <trace.json> [--require <category-or-name>]...)"
+                );
+                std::process::exit(2);
+            }
+        }
+        k += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("trace_check: missing <trace.json> argument");
+        std::process::exit(2);
+    };
+
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = match validate_chrome_trace(&src) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("trace_check: {path} is not a well-formed Chrome trace: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut missing = Vec::new();
+    for what in &required {
+        let n = stats.count(what);
+        if n == 0 {
+            missing.push(what.clone());
+        } else {
+            println!("trace_check: {what}: {n} event(s)");
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "trace_check: {path} valid but missing required events: {}",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "trace_check: {path} OK — {} events across {} tracks",
+        stats.events,
+        stats.tracks.len()
+    );
+}

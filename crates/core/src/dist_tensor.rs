@@ -15,6 +15,7 @@ use spdistal_ir::tdn::DistSpec;
 use spdistal_ir::{Format, IndexVar, SchedError, TdnError, VarCtx};
 use spdistal_runtime::{
     ExecMode, IntervalSet, Machine, Partition, Rect1, RegionId, Runtime, RuntimeError, SplitPolicy,
+    Trace,
 };
 use spdistal_sparse::{Level, SpTensor};
 
@@ -129,6 +130,7 @@ pub struct Context {
     vars: VarCtx,
     exec_mode: ExecMode,
     split: SplitPolicy,
+    trace: Trace,
 }
 
 impl Context {
@@ -139,6 +141,7 @@ impl Context {
             vars: VarCtx::new(),
             exec_mode: ExecMode::Serial,
             split: SplitPolicy::Auto,
+            trace: Trace::disabled(),
         }
     }
 
@@ -176,6 +179,22 @@ impl Context {
     /// Builder-style variant of [`Context::set_split_policy`].
     pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
         self.split = policy;
+        self
+    }
+
+    /// The observability sink every layer below this context records into
+    /// (disabled by default: recording helpers become inlined no-ops).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// Builder-style variant of [`Context::set_trace`].
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
         self
     }
 

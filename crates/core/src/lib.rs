@@ -54,6 +54,11 @@ pub use program::{
 };
 pub use session::{FlushReport, Session, TensorFuture};
 
+/// The structured-tracing spine: typed event recorder, metrics registry,
+/// Chrome-trace export, run reports (re-exported from `spdistal-obs`).
+pub use spdistal_obs as obs;
+pub use spdistal_obs::Trace;
+
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::api::{access, assign, schedule_nonzero, schedule_outer_dim};
@@ -64,5 +69,6 @@ pub mod prelude {
     };
     pub use crate::session::{FlushReport, Session, TensorFuture};
     pub use spdistal_ir::{Format, ParallelUnit, Schedule};
+    pub use spdistal_obs::Trace;
     pub use spdistal_runtime::{ExecMode, LaunchTiming, Machine, MachineProfile, SplitPolicy};
 }

@@ -145,9 +145,10 @@ pub struct ExecResult {
 /// replaced by the computed output (so chained statements, e.g. CP-ALS
 /// sweeps, see it).
 pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
+    let trace = ctx.trace().clone();
     let mut prepared = PreparedPlan::new(ctx, plan, DAG_OUT_REGION)?;
     let pipeline = Pipeline::new(vec![prepared.take_launch_desc()]);
-    let (report, timings) = pipeline.run(ctx.exec_mode(), |_, point, span| {
+    let (report, timings) = pipeline.run_traced(ctx.exec_mode(), &trace, |_, point, span| {
         prepared.run_point(point, span)
     });
     let (computed, ops) = prepared.finish()?;
@@ -725,6 +726,24 @@ pub(crate) fn finish_model(
             vec![issue(ctx, &plan.name, tasks, model_preds)?]
         }
     };
+    // The model timeline's trace events: a fence marker when the issue
+    // serialized behind everything (launch-at-a-time), then one modeled
+    // launch window per issued record.
+    let trace = ctx.trace().clone();
+    if trace.is_enabled() {
+        if model_preds.is_none() {
+            trace.model_fence(&plan.name);
+        }
+        for r in &issued {
+            trace.model_launch(
+                &r.name,
+                r.model.issue,
+                r.model.start,
+                r.model.finish,
+                r.model.seq_span,
+            );
+        }
+    }
     // Fold the issued launches' modeled milestones into this plan's
     // timing(s): one window from first issue to last finish, sequential
     // spans summed (two-phase launches chain, so their spans tile).

@@ -68,10 +68,11 @@
 //! [`CompiledProgram::clear_plan_cache`].
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use spdistal_ir::{parse_tin, tdn, Assignment, Format, ParallelUnit, Schedule, VarCtx};
 use spdistal_runtime::pipeline::LaunchTiming;
-use spdistal_runtime::{ExecMode, Machine, SplitPolicy};
+use spdistal_runtime::{ExecMode, Machine, SplitPolicy, Trace};
 use spdistal_sparse::SpTensor;
 
 use crate::api::{schedule_nonzero, schedule_outer_dim};
@@ -249,6 +250,7 @@ pub struct Program {
     exec_mode: ExecMode,
     split: SplitPolicy,
     pipelined: bool,
+    trace: Option<Trace>,
     tensors: Vec<(String, SpTensor, Format)>,
     dists: Vec<String>,
     stmts: Vec<StmtDecl>,
@@ -263,11 +265,23 @@ impl Program {
             exec_mode: ExecMode::Serial,
             split: SplitPolicy::Auto,
             pipelined: true,
+            trace: None,
             tensors: Vec::new(),
             dists: Vec::new(),
             stmts: Vec::new(),
             errors: Vec::new(),
         }
+    }
+
+    /// Attach a structured trace: every flush, launch, span, steal,
+    /// plan-cache lookup, and auto-scheduler decision of the compiled
+    /// program records into it (see [`spdistal_runtime::obs`]). Without
+    /// this call the trace comes from the `SPD_TRACE` environment variable
+    /// ([`Trace::from_env`]) and defaults to disabled — a disabled trace
+    /// is a no-op handle with near-zero overhead.
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Declare a tensor with its format (levels + distribution) and data.
@@ -379,9 +393,11 @@ impl Program {
                 .ok_or_else(|| Error::UnknownTensor(parsed.tensor.clone()))?;
             decl.2.dist = parsed.dist;
         }
+        let trace = self.trace.unwrap_or_else(Trace::from_env);
         let mut ctx = Context::new(self.machine)
             .with_exec_mode(self.exec_mode)
-            .with_split_policy(self.split);
+            .with_split_policy(self.split)
+            .with_trace(trace);
         for (name, data, format) in tensors {
             ctx.add_tensor(&name, data, format)?;
         }
@@ -518,6 +534,33 @@ impl CompiledProgram {
         &self.report
     }
 
+    /// The program's structured trace handle (disabled unless attached via
+    /// [`Program::trace`] or the `SPD_TRACE` environment variable).
+    pub fn trace(&self) -> &Trace {
+        self.ctx.trace()
+    }
+
+    /// Write the recorded trace as Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`). A no-op `Ok(())` when tracing is
+    /// disabled.
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        self.ctx.trace().write_chrome_trace(path)
+    }
+
+    /// One-line JSON run report: event counts, counters, and histogram
+    /// quantiles (p50/p95/p99) — grep-friendly for benches and CI.
+    pub fn run_report_json(&self, name: &str) -> String {
+        self.ctx.trace().run_report_json(name)
+    }
+
+    /// Record an auto-scheduler decision in the report *and* on the trace.
+    fn push_decision(&mut self, d: AutoDecision) {
+        self.ctx
+            .trace()
+            .auto_decision(d.stmt as u32, d.iteration as u32, d.choice, &d.reason);
+        self.report.decisions.push(d);
+    }
+
     /// Drop every cached plan (they recompile on the next run). Needed
     /// only when an *input* tensor's sparsity pattern changed under a
     /// cached plan — see the module docs' caching caveat.
@@ -575,9 +618,13 @@ impl CompiledProgram {
     ) -> Result<&ProgramReport, Error> {
         for _ in 0..iters {
             let iter = self.report.iterations;
+            let t0 = Instant::now();
             self.ensure_schedules(iter)?;
             self.execute_once()?;
             self.report.iterations += 1;
+            let trace = self.ctx.trace();
+            trace.observe_ns("iter_ns", t0.elapsed().as_nanos() as u64);
+            trace.add("iterations", 1);
             hook(&mut self.ctx, iter)?;
             if iter == 0 {
                 self.warmup_feedback()?;
@@ -755,7 +802,7 @@ impl CompiledProgram {
     ) -> Result<Chosen, Error> {
         let unit = ParallelUnit::CpuThread;
         let Some(driver) = self.sparse_driver(stmt) else {
-            self.report.decisions.push(AutoDecision {
+            self.push_decision(AutoDecision {
                 stmt: k,
                 iteration,
                 choice: "outer-dim",
@@ -768,7 +815,7 @@ impl CompiledProgram {
             let depth = self.nonzero_depth(&driver);
             match Self::build_nonzero(&mut self.ctx, stmt, &driver, depth, pieces, unit) {
                 Ok(chosen) => {
-                    self.report.decisions.push(AutoDecision {
+                    self.push_decision(AutoDecision {
                         stmt: k,
                         iteration,
                         choice: "non-zero",
@@ -779,7 +826,7 @@ impl CompiledProgram {
                     return Ok(chosen);
                 }
                 Err(e) => {
-                    self.report.decisions.push(AutoDecision {
+                    self.push_decision(AutoDecision {
                         stmt: k,
                         iteration,
                         choice: "outer-dim",
@@ -789,7 +836,7 @@ impl CompiledProgram {
                 }
             }
         }
-        self.report.decisions.push(AutoDecision {
+        self.push_decision(AutoDecision {
             stmt: k,
             iteration,
             choice: "outer-dim",
@@ -850,7 +897,7 @@ impl CompiledProgram {
             let unit = ParallelUnit::CpuThread;
             match Self::build_nonzero(&mut self.ctx, &stmt, &driver, depth, pieces, unit) {
                 Ok(chosen) => {
-                    self.report.decisions.push(AutoDecision {
+                    self.push_decision(AutoDecision {
                         stmt: k,
                         iteration: self.report.iterations,
                         choice: "non-zero",
@@ -859,7 +906,7 @@ impl CompiledProgram {
                     self.stmts[k].chosen = Some(chosen);
                 }
                 Err(e) => {
-                    self.report.decisions.push(AutoDecision {
+                    self.push_decision(AutoDecision {
                         stmt: k,
                         iteration: self.report.iterations,
                         choice: "outer-dim",
@@ -902,8 +949,10 @@ impl CompiledProgram {
         let mut key = self.cache_key(k);
         if self.cache.contains_key(&key) {
             self.report.cache_hits += 1;
+            self.ctx.trace().plan_cache_hit(&key);
             return Ok(key);
         }
+        self.ctx.trace().plan_cache_miss(&key);
         let chosen = self.stmts[k]
             .chosen
             .as_ref()
@@ -921,7 +970,7 @@ impl CompiledProgram {
                 let pieces = self.default_pieces();
                 let chosen =
                     Self::build_outer_dim(&mut self.ctx, &stmt, pieces, ParallelUnit::CpuThread);
-                self.report.decisions.push(AutoDecision {
+                self.push_decision(AutoDecision {
                     stmt: k,
                     iteration: self.report.iterations,
                     choice: "outer-dim",
@@ -932,8 +981,10 @@ impl CompiledProgram {
                 key = self.cache_key(k);
                 if self.cache.contains_key(&key) {
                     self.report.cache_hits += 1;
+                    self.ctx.trace().plan_cache_hit(&key);
                     return Ok(key);
                 }
+                self.ctx.trace().plan_cache_miss(&key);
                 let chosen = self.stmts[k].chosen.as_ref().unwrap();
                 self.ctx.compile(&self.stmts[k].stmt, &chosen.schedule)?
             }
@@ -1000,7 +1051,7 @@ impl CompiledProgram {
                         .unwrap_or_else(|| "<unselected>".to_string()),
                     time: result.as_ref().map(|r| r.time).unwrap_or(0.0),
                     wall_time: result.as_ref().map(|r| r.wall_time).unwrap_or(0.0),
-                    task_skew: result.as_ref().map(|r| r.sched.task_skew()).unwrap_or(1.0),
+                    task_skew: result.as_ref().map(|r| r.sched.task_skew()).unwrap_or(0.0),
                 }
             })
             .collect();

@@ -106,9 +106,11 @@ impl FlushReport {
     /// executor-feedback half of the auto-scheduling loop, aggregated over
     /// the flush's batches like the per-launch
     /// [`task_skew`](spdistal_runtime::sched::ExecReport::task_skew).
+    /// A flush with no tasks or no measurable compute has no skew:
+    /// 0.0, never NaN or infinity.
     pub fn task_skew(&self) -> f64 {
         if self.busy_seconds <= 0.0 || self.tasks == 0 {
-            return 1.0;
+            return 0.0;
         }
         self.critical_task_seconds / (self.busy_seconds / self.tasks as f64)
     }
@@ -141,15 +143,20 @@ impl FlushReport {
 
     /// The modeled-overlap ratio of this flush: sequential modeled sum ÷
     /// graph-ordered modeled makespan. 1.0 means the launch graph bought no
-    /// overlap (a dependence chain, a single launch, or an empty flush);
-    /// above 1.0, deferred execution genuinely shortened simulated time.
+    /// overlap (a dependence chain or a single launch); above 1.0, deferred
+    /// execution genuinely shortened simulated time. An empty flush, or a
+    /// multi-launch flush whose modeled makespan collapsed to zero, has no
+    /// overlap to speak of: 0.0, never NaN or infinity.
     pub fn modeled_overlap(&self) -> f64 {
-        if self.launches.len() <= 1 {
+        if self.launches.is_empty() {
+            return 0.0;
+        }
+        if self.launches.len() == 1 {
             return 1.0;
         }
         let makespan = self.model_makespan();
         if makespan <= 0.0 {
-            return 1.0;
+            return 0.0;
         }
         self.model_seq_sum() / makespan
     }
@@ -184,7 +191,10 @@ impl<'c> Session<'c> {
         // Gate the first batch behind whatever the context already issued
         // on the model timeline (earlier sessions, launch-at-a-time runs),
         // so a session's modeled windows start after preceding work.
-        let model_preds = ctx.runtime().model_fence_launch().into_iter().collect();
+        let model_preds: Vec<LaunchId> = ctx.runtime().model_fence_launch().into_iter().collect();
+        if !model_preds.is_empty() {
+            ctx.trace().model_fence("session-epoch");
+        }
         Session {
             ctx,
             epoch: Instant::now(),
@@ -236,6 +246,14 @@ impl<'c> Session<'c> {
     /// batch after their producers' write-backs landed.
     pub fn flush(&mut self) -> Result<FlushReport, Error> {
         let mut report = FlushReport::default();
+        let trace = self.ctx.trace().clone();
+        let flush_id = if trace.is_enabled() && !self.queue.is_empty() {
+            let id = trace.next_flush_id();
+            trace.flush_begin(id);
+            Some(id)
+        } else {
+            None
+        };
         while !self.queue.is_empty() {
             let n = self.next_batch_len();
             let batch: Vec<Queued> = self.queue.drain(..n).collect();
@@ -248,8 +266,14 @@ impl<'c> Session<'c> {
                     }
                 }
                 self.queue.clear();
+                if let Some(id) = flush_id {
+                    trace.flush_end(id, report.batches as u32, report.tasks as u64);
+                }
                 return Err(e);
             }
+        }
+        if let Some(id) = flush_id {
+            trace.flush_end(id, report.batches as u32, report.tasks as u64);
         }
         Ok(report)
     }
@@ -315,6 +339,7 @@ impl<'c> Session<'c> {
     /// launch-graph-ordered.
     fn run_batch(&mut self, batch: &[Queued], report: &mut FlushReport) -> Result<(), Error> {
         let mode = self.ctx.exec_mode();
+        let trace = self.ctx.trace().clone();
         let batch_t0 = Instant::now();
         let (exec_report, timings, finished, pred_sets) = {
             let ctx: &Context = self.ctx;
@@ -335,9 +360,10 @@ impl<'c> Session<'c> {
             // The inter-launch edge set (WAW/WAR over the summaries,
             // including write-back claims) also orders the model replay.
             let pred_sets = pipeline.launch_graph().pred_sets();
-            let (exec_report, timings) = pipeline.run(mode, |launch, point, span| {
-                prepared[launch].run_point(point, span)
-            });
+            let (exec_report, timings) =
+                pipeline.run_traced(mode, &trace, |launch, point, span| {
+                    prepared[launch].run_point(point, span)
+                });
             let finished = prepared
                 .into_iter()
                 .map(PreparedPlan::finish)
@@ -387,6 +413,9 @@ impl<'c> Session<'c> {
             self.slots[q.ticket] = Slot::Done(Box::new(result));
         }
         self.model_preds = plan_ids.into_iter().flatten().collect();
+
+        trace.add("batches", 1);
+        trace.add("tasks", exec_report.tasks as u64);
 
         report.batches += 1;
         report.wall_seconds += exec_report.wall_seconds;
@@ -507,11 +536,64 @@ mod tests {
         assert_eq!(report.batches, 0);
         assert!(report.launches.is_empty());
         assert_eq!(report.tasks, 0);
-        assert_eq!(report.modeled_overlap(), 1.0);
+        assert_eq!(report.modeled_overlap(), 0.0);
+        assert_eq!(report.task_skew(), 0.0);
         assert_eq!(report.model_seq_sum(), 0.0);
         assert_eq!(report.model_makespan(), 0.0);
         // Flushing an empty queue twice is just as fine.
-        assert_eq!(session.flush().unwrap().modeled_overlap(), 1.0);
+        assert_eq!(session.flush().unwrap().modeled_overlap(), 0.0);
+    }
+
+    #[test]
+    fn flush_report_zero_input_ratios_are_zero_not_nan() {
+        // Default (empty) report: every derived ratio must be a finite 0.0.
+        let report = FlushReport::default();
+        assert_eq!(report.task_skew(), 0.0);
+        assert_eq!(report.modeled_overlap(), 0.0);
+
+        // Tasks but no measurable busy time: still no skew to report.
+        let report = FlushReport {
+            tasks: 8,
+            busy_seconds: 0.0,
+            critical_task_seconds: 0.0,
+            ..FlushReport::default()
+        };
+        assert_eq!(report.task_skew(), 0.0);
+        assert!(report.task_skew().is_finite());
+
+        // Busy time but no tasks (degenerate bookkeeping): same story.
+        let report = FlushReport {
+            tasks: 0,
+            busy_seconds: 1.5,
+            critical_task_seconds: 0.5,
+            ..FlushReport::default()
+        };
+        assert_eq!(report.task_skew(), 0.0);
+
+        // Multi-launch flush whose modeled makespan collapsed to zero must
+        // not divide by it.
+        let zero_model = spdistal_runtime::ModelTiming::default();
+        let report = FlushReport {
+            launches: vec![
+                LaunchTiming {
+                    name: "a".into(),
+                    issue: 0.0,
+                    start: 0.0,
+                    drain: 0.0,
+                    model: zero_model.clone(),
+                },
+                LaunchTiming {
+                    name: "b".into(),
+                    issue: 0.0,
+                    start: 0.0,
+                    drain: 0.0,
+                    model: zero_model,
+                },
+            ],
+            ..FlushReport::default()
+        };
+        assert_eq!(report.modeled_overlap(), 0.0);
+        assert!(report.modeled_overlap().is_finite());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   level functions and issues index launches here, while running the real
 //!   leaf kernels on the shared-memory data for correctness.
 
+/// The observability spine (re-exported): every layer of this crate can
+/// record typed events into a [`Trace`](obs::Trace).
+pub use spdistal_obs as obs;
+
 pub mod dependent;
 pub mod exec;
 pub mod geometry;
@@ -32,4 +36,5 @@ pub use machine::{LinkProfile, Machine, MachineProfile, ProcKind, ProcProfile};
 pub use partition::Partition;
 pub use pipeline::{LaunchDesc, LaunchGraph, LaunchTiming, Pipeline};
 pub use sched::{ExecMode, ExecReport, Executor, SplitPolicy, TaskGraph};
+pub use spdistal_obs::Trace;
 pub use task::{Privilege, RegionId, RegionReq, TaskSpec};

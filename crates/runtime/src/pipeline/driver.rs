@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use spdistal_obs::{Sym, Trace};
+
 use crate::sched::{ExecMode, ExecReport, Executor, TaskGraph, TaskGraphBuilder};
 
 use super::graph::LaunchGraph;
@@ -124,22 +126,74 @@ impl Pipeline {
         mode: ExecMode,
         body: impl Fn(usize, usize, usize) + Sync,
     ) -> (ExecReport, Vec<LaunchTiming>) {
+        self.run_traced(mode, &Trace::disabled(), body)
+    }
+
+    /// [`Pipeline::run`] with an observability sink. Each launch is
+    /// assigned a trace-global id; the drain records `LaunchIssue` for
+    /// every launch up front, a `SpanBegin`/`SpanEnd` pair per executed
+    /// span on the running worker's lane, and `LaunchStart`/`LaunchFinish`
+    /// stamped from the *same* clock readings as the span events — so the
+    /// launch window exactly contains its spans on the exported timeline.
+    /// A disabled trace makes this identical to [`Pipeline::run`].
+    pub fn run_traced(
+        &self,
+        mode: ExecMode,
+        trace: &Trace,
+        body: impl Fn(usize, usize, usize) + Sync,
+    ) -> (ExecReport, Vec<LaunchTiming>) {
         let n_launches = self.launches.len();
         let starts: Vec<AtomicU64> = (0..n_launches).map(|_| AtomicU64::new(u64::MAX)).collect();
         let drains: Vec<AtomicU64> = (0..n_launches).map(|_| AtomicU64::new(0)).collect();
         let done: Vec<AtomicUsize> = (0..n_launches).map(|_| AtomicUsize::new(0)).collect();
         let span_totals: Vec<usize> = self.launches.iter().map(LaunchDesc::num_spans).collect();
 
+        // Trace-side launch milestones, on the trace's own epoch (the
+        // LaunchTiming milestones below keep their run-relative epoch).
+        let base = trace.alloc_launch_ids(n_launches as u32);
+        let name_syms: Vec<Sym> = self
+            .launches
+            .iter()
+            .map(|l| trace.intern(&l.name))
+            .collect();
+        let ev_starts: Vec<AtomicU64> = (0..n_launches).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let ev_drains: Vec<AtomicU64> = (0..n_launches).map(|_| AtomicU64::new(0)).collect();
+        if trace.is_enabled() {
+            let t_issue = trace.now_ns();
+            for (l, &sym) in name_syms.iter().enumerate() {
+                trace.launch_issue_at(t_issue, base + l as u32, sym);
+            }
+        }
+
         let t0 = Instant::now();
-        let report = Executor::new(mode).run(&self.graph, |flat, span| {
+        let report = Executor::new(mode).run_traced(&self.graph, trace, |flat, span| {
             let (launch, point) = self.locate[flat];
             starts[launch].fetch_min(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let ts0 = trace.now_ns();
             body(launch, point, span);
             let finished = done[launch].fetch_add(1, Ordering::AcqRel) + 1;
             if finished == span_totals[launch] {
                 drains[launch].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
+            if trace.is_enabled() {
+                let ts1 = trace.now_ns();
+                trace.span(base + launch as u32, flat as u32, span as u32, ts0, ts1);
+                ev_starts[launch].fetch_min(ts0, Ordering::Relaxed);
+                ev_drains[launch].fetch_max(ts1, Ordering::Relaxed);
+            }
         });
+
+        if trace.is_enabled() {
+            for l in 0..n_launches {
+                let start = ev_starts[l].load(Ordering::Relaxed);
+                if start == u64::MAX {
+                    continue; // no span executed (empty launch)
+                }
+                let finish = ev_drains[l].load(Ordering::Relaxed).max(start);
+                trace.launch_start_at(start, base + l as u32, name_syms[l]);
+                trace.launch_finish_at(finish, base + l as u32, name_syms[l]);
+            }
+        }
 
         let timings = self
             .launches
@@ -233,6 +287,59 @@ mod tests {
             order.lock().unwrap().push((l, p))
         });
         assert_eq!(*order.lock().unwrap(), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn traced_run_nests_spans_inside_their_launch_window() {
+        use spdistal_obs::{Event, Trace};
+        use std::collections::HashMap;
+        let pipeline = Pipeline::new(vec![
+            launch("w0", 0, 3, Privilege::ReadWrite),
+            launch("r", 0, 4, Privilege::Read),
+        ]);
+        let trace = Trace::enabled();
+        let (report, _) = pipeline.run_traced(ExecMode::Parallel(2), &trace, |_, _, _| {});
+        assert_eq!(report.spans, 7);
+
+        let events = trace.recorder().unwrap().snapshot();
+        let mut issues: HashMap<u32, u64> = HashMap::new();
+        let mut windows: HashMap<u32, (u64, u64)> = HashMap::new();
+        for e in &events {
+            match e.event {
+                Event::LaunchIssue { launch, .. } => {
+                    issues.insert(launch, e.ts_ns);
+                }
+                Event::LaunchStart { launch, .. } => {
+                    windows.entry(launch).or_insert((0, 0)).0 = e.ts_ns;
+                }
+                Event::LaunchFinish { launch, .. } => {
+                    windows.entry(launch).or_insert((0, 0)).1 = e.ts_ns;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(issues.len(), 2, "every launch records its issue");
+        assert_eq!(windows.len(), 2, "every launch records start and finish");
+        for (launch, &(start, finish)) in &windows {
+            assert!(start <= finish, "launch window is ordered");
+            assert!(issues[launch] <= start, "issue precedes the first span");
+        }
+        // Every span event falls inside its launch's window — the nesting
+        // invariant the Chrome export depends on visually.
+        let mut span_events = 0;
+        for e in &events {
+            if let Event::SpanBegin { launch, .. } | Event::SpanEnd { launch, .. } = e.event {
+                span_events += 1;
+                let (start, finish) = windows[&launch];
+                assert!(
+                    e.ts_ns >= start && e.ts_ns <= finish,
+                    "span event at {} outside launch window [{start}, {finish}]",
+                    e.ts_ns
+                );
+                assert!(e.lane >= 1, "spans run on worker lanes");
+            }
+        }
+        assert_eq!(span_events, 14, "a begin/end pair per executed span");
     }
 
     #[test]

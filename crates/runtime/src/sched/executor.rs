@@ -13,8 +13,10 @@
 
 use std::time::Instant;
 
+use spdistal_obs::Trace;
+
 use super::graph::TaskGraph;
-use super::pool::{run_graph, PoolStats};
+use super::pool::{run_graph_traced, PoolStats};
 
 /// How leaf tasks of a launch execute.
 ///
@@ -142,10 +144,11 @@ impl ExecReport {
     /// How severely the heaviest task gates the launch: its share of the
     /// total compute times the task count (1.0 = perfectly balanced,
     /// `tasks` = one task carries everything). The unsplit analogue of
-    /// `Partition::imbalance`, measured instead of modeled.
+    /// `Partition::imbalance`, measured instead of modeled. A run with no
+    /// tasks or no measurable compute has no skew: 0.0, never NaN.
     pub fn task_skew(&self) -> f64 {
         if self.busy_seconds <= 0.0 || self.tasks == 0 {
-            return 1.0;
+            return 0.0;
         }
         self.critical_task_seconds / (self.busy_seconds / self.tasks as f64)
     }
@@ -180,11 +183,25 @@ impl Executor {
     /// Run `body` once per span of `graph` (`body(task, span)`), honoring
     /// its dependence edges at task granularity.
     pub fn run(&self, graph: &TaskGraph, body: impl Fn(usize, usize) + Sync) -> ExecReport {
+        self.run_traced(graph, &Trace::disabled(), body)
+    }
+
+    /// [`Executor::run`] with an observability sink: pool workers record
+    /// steals onto per-worker trace lanes; the serial path impersonates
+    /// worker 0 (lane 1) so single-threaded spans still get a worker
+    /// track. A disabled trace makes this identical to [`Executor::run`].
+    pub fn run_traced(
+        &self,
+        graph: &TaskGraph,
+        trace: &Trace,
+        body: impl Fn(usize, usize) + Sync,
+    ) -> ExecReport {
         let threads = self.mode.threads();
         let n = graph.num_tasks();
         let total_spans = graph.total_spans();
         let t0 = Instant::now();
         let stats = if threads <= 1 || total_spans <= 1 {
+            let _lane = spdistal_obs::lane_scope(1);
             let mut task_seconds = vec![0.0; n];
             for (task, seconds) in task_seconds.iter_mut().enumerate() {
                 let s0 = Instant::now();
@@ -199,7 +216,7 @@ impl Executor {
                 task_seconds,
             }
         } else {
-            run_graph(threads, graph, &body)
+            run_graph_traced(threads, graph, trace, &body)
         };
         ExecReport {
             wall_seconds: t0.elapsed().as_secs_f64(),
@@ -327,6 +344,41 @@ mod tests {
             seen.into_inner().unwrap(),
             vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]
         );
+    }
+
+    #[test]
+    fn zero_input_ratios_are_zero_not_nan() {
+        // A default (never-run) report: no tasks, no time. Both derived
+        // ratios must read 0.0 — never NaN or inf.
+        let empty = ExecReport::default();
+        assert_eq!(empty.task_skew(), 0.0);
+        assert_eq!(empty.steal_rate(), 0.0);
+        // Tasks but zero measured compute (bodies faster than the clock).
+        let fast = ExecReport {
+            tasks: 4,
+            spans: 0,
+            busy_seconds: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(fast.task_skew(), 0.0);
+        assert_eq!(fast.steal_rate(), 0.0);
+        // Time but zero tasks (cannot normalize by the task count).
+        let no_tasks = ExecReport {
+            tasks: 0,
+            busy_seconds: 1.0,
+            critical_task_seconds: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(no_tasks.task_skew(), 0.0);
+        assert!(no_tasks.task_skew().is_finite());
+        // Steals with zero spans must not divide by zero.
+        let stolen = ExecReport {
+            steals: 3,
+            spans: 0,
+            ..Default::default()
+        };
+        assert_eq!(stolen.steal_rate(), 0.0);
+        assert!(stolen.steal_rate().is_finite());
     }
 
     #[test]

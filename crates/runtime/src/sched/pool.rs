@@ -22,6 +22,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use spdistal_obs::Trace;
+
 use super::graph::TaskGraph;
 
 /// Counters from one pool run.
@@ -38,6 +40,9 @@ pub struct PoolStats {
 
 struct Shared<'g> {
     graph: &'g TaskGraph,
+    /// Observability sink; steal successes record here (a disabled trace
+    /// reduces every call to an inlined `None` check).
+    trace: &'g Trace,
     deques: Vec<Mutex<VecDeque<(usize, usize)>>>,
     /// Remaining predecessor count per task; a task's spans are pushed
     /// when its count reaches zero.
@@ -70,9 +75,10 @@ impl Shared<'_> {
             if victim == me {
                 continue;
             }
-            if let Some(item) = self.deques[victim].lock().unwrap().pop_front() {
+            if let Some((task, span)) = self.deques[victim].lock().unwrap().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(item);
+                self.trace.steal(victim as u32, task as u32, span as u32);
+                return Some((task, span));
             }
         }
         None
@@ -134,6 +140,18 @@ pub fn run_graph(
     graph: &TaskGraph,
     body: &(dyn Fn(usize, usize) + Sync),
 ) -> PoolStats {
+    run_graph_traced(threads, graph, &Trace::disabled(), body)
+}
+
+/// [`run_graph`] with an observability sink: each worker records onto its
+/// own trace lane (`worker + 1`), steals record the victim, and failed
+/// whole-pool scans record one `StealAttempt` per idle episode.
+pub fn run_graph_traced(
+    threads: usize,
+    graph: &TaskGraph,
+    trace: &Trace,
+    body: &(dyn Fn(usize, usize) + Sync),
+) -> PoolStats {
     let n = graph.num_tasks();
     let total_spans = graph.total_spans();
     if n == 0 {
@@ -142,6 +160,7 @@ pub fn run_graph(
     let threads = threads.max(1).min(total_spans);
     let shared = Shared {
         graph,
+        trace,
         deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         waits: (0..n)
             .map(|t| AtomicUsize::new(graph.pred_count(t)))
@@ -169,18 +188,31 @@ pub fn run_graph(
     std::thread::scope(|scope| {
         for me in 0..threads {
             let shared = &shared;
-            scope.spawn(move || loop {
-                if shared.remaining.load(Ordering::Acquire) == 0 {
-                    return;
-                }
-                match shared.pop_local(me).or_else(|| shared.steal(me)) {
-                    Some((task, span)) => {
-                        let t0 = Instant::now();
-                        body(task, span);
-                        let nanos = t0.elapsed().as_nanos() as u64;
-                        shared.complete_span(me, task, nanos);
+            scope.spawn(move || {
+                spdistal_obs::set_thread_lane(me as u32 + 1);
+                // One StealAttempt event per idle episode (the metrics
+                // counter still counts every failed scan): a parked worker
+                // re-scans thousands of times per second and would
+                // otherwise flood its ring.
+                let mut idle_recorded = false;
+                loop {
+                    if shared.remaining.load(Ordering::Acquire) == 0 {
+                        return;
                     }
-                    None => shared.park(),
+                    match shared.pop_local(me).or_else(|| shared.steal(me)) {
+                        Some((task, span)) => {
+                            idle_recorded = false;
+                            let t0 = Instant::now();
+                            body(task, span);
+                            let nanos = t0.elapsed().as_nanos() as u64;
+                            shared.complete_span(me, task, nanos);
+                        }
+                        None => {
+                            shared.trace.steal_attempt(!idle_recorded);
+                            idle_recorded = true;
+                            shared.park();
+                        }
+                    }
                 }
             });
         }
@@ -322,6 +354,34 @@ mod tests {
         });
         let total: u64 = acc.iter().map(|a| a.load(Ordering::Relaxed)).sum();
         assert_eq!(total, (n as u64) * (n as u64 + 1) / 2);
+    }
+
+    #[test]
+    fn traced_run_attributes_steals_to_live_items_and_worker_lanes() {
+        use spdistal_obs::{Event, Trace};
+        let widths = vec![3usize; 32];
+        let g = TaskGraph::independent(32).with_widths(widths);
+        let trace = Trace::enabled();
+        let stats = run_graph_traced(4, &g, &trace, &|_, _| {
+            std::thread::yield_now();
+        });
+        let metrics = trace.metrics().unwrap();
+        assert_eq!(metrics.counter("steals").get() as usize, stats.steals);
+        let mut steal_events = 0;
+        for e in trace.recorder().unwrap().snapshot() {
+            if let Event::Steal { victim, task, span } = e.event {
+                steal_events += 1;
+                assert!((task as usize) < g.num_tasks(), "stolen task is live");
+                assert!((span as usize) < g.width(task as usize));
+                assert!((victim as usize) < 4, "victim is a real worker");
+                assert!(
+                    (1..=4).contains(&e.lane),
+                    "thief recorded on its own worker lane"
+                );
+                assert_ne!(e.lane, victim + 1, "a worker cannot steal from itself");
+            }
+        }
+        assert_eq!(steal_events, stats.steals, "one event per counted steal");
     }
 
     #[test]

@@ -13,15 +13,25 @@
 //! ```text
 //! cargo run --release --example fused_addition
 //! cargo run --release --example fused_addition -- --pipeline [N_THREADS]
+//! cargo run --release --example fused_addition -- --pipeline --trace trace.json
 //! ```
+//!
+//! `--trace <path>` (or `SPD_TRACE`) records every run onto one structured
+//! trace: Chrome trace-event JSON plus a one-line `run_report_json=`
+//! metrics summary.
 
 use spdistal_repro::baselines::{ctf, petsc, trilinos};
+use spdistal_repro::obs;
 use spdistal_repro::sparse::{generate, reference, SpTensor};
 use spdistal_repro::spdistal::prelude::*;
 
 const PIECES: usize = 8;
 
-fn build(mode: ExecMode, pipelined: bool) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
+fn build(
+    mode: ExecMode,
+    pipelined: bool,
+    trace: &Trace,
+) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
     let b = generate::rmat_default(13, 160_000, 31);
     let c = generate::shift_last_dim(&b, 1);
     let d = generate::shift_last_dim(&b, 2);
@@ -29,6 +39,7 @@ fn build(mode: ExecMode, pipelined: bool) -> Result<CompiledProgram, Box<dyn std
     let (rows, cols) = (b.dims()[0], b.dims()[1]);
     let mut program = Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
         .exec_mode(mode)
+        .trace(trace.clone())
         .tensor("B", Format::blocked_csr(), b)
         .tensor("C", Format::blocked_csr(), c)
         .tensor("D", Format::blocked_csr(), d)
@@ -56,8 +67,9 @@ fn build(mode: ExecMode, pipelined: bool) -> Result<CompiledProgram, Box<dyn std
 fn run(
     mode: ExecMode,
     pipelined: bool,
+    trace: &Trace,
 ) -> Result<(Vec<SpTensor>, f64, ProgramReport), Box<dyn std::error::Error>> {
-    let mut program = build(mode, pipelined)?;
+    let mut program = build(mode, pipelined, trace)?;
     program.run()?;
     let sim_time = program.result(0).unwrap().time;
     let outputs = (0..program.stmt_count())
@@ -68,19 +80,40 @@ fn run(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let pipeline_threads = match args.iter().position(|a| a == "--pipeline") {
-        Some(k) => Some(
-            args.get(k + 1)
-                .and_then(|n| n.parse::<usize>().ok())
-                .unwrap_or(0), // Parallel(0): auto-detect, see the ExecMode docs
-        ),
-        None => {
-            if let Some(unknown) = args.first() {
-                eprintln!("unknown argument '{unknown}' (supported: --pipeline [N])");
+    let mut pipeline_threads: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--pipeline" => {
+                // Bare `--pipeline` means Parallel(0): auto-detect, see
+                // the ExecMode::Parallel docs for the policy.
+                match args.get(k + 1).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => {
+                        pipeline_threads = Some(n);
+                        k += 1;
+                    }
+                    None => pipeline_threads = Some(0),
+                }
+            }
+            "--trace" => {
+                trace_path = Some(args.get(k + 1).ok_or("--trace needs a <path>")?.clone());
+                k += 1;
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument '{unknown}' (supported: --pipeline [N], --trace <path>)"
+                );
                 std::process::exit(2);
             }
-            None
         }
+        k += 1;
+    }
+    let trace_path = trace_path.or_else(obs::env_trace_path);
+    let trace = if trace_path.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
     };
 
     // References for both fused statements.
@@ -91,7 +124,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expect_a = reference::spadd3(&b, &c, &d);
     let expect_a2 = reference::spadd3(&c, &d, &e);
 
-    let (outputs, sim_time, report) = run(ExecMode::Serial, true)?;
+    let (outputs, sim_time, report) = run(ExecMode::Serial, true, &trace)?;
     assert!(reference::tensors_approx_eq(&outputs[0], &expect_a, 1e-12));
     assert!(reference::tensors_approx_eq(&outputs[1], &expect_a2, 1e-12));
     assert_eq!(report.batches, 1, "independent additions share one batch");
@@ -121,8 +154,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(threads) = pipeline_threads {
         let mode = ExecMode::Parallel(threads);
-        let (lat_outputs, _, lat_report) = run(mode, false)?;
-        let (pipe_outputs, pipe_sim, pipe_report) = run(mode, true)?;
+        let (lat_outputs, _, lat_report) = run(mode, false, &trace)?;
+        let (pipe_outputs, pipe_sim, pipe_report) = run(mode, true, &trace)?;
         for got in [&lat_outputs, &pipe_outputs] {
             for (serial, other) in outputs.iter().zip(got.iter()) {
                 assert_eq!(serial.levels(), other.levels(), "assembled structure");
@@ -162,6 +195,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         println!("  outputs bit-identical to the serial path ✔");
+    }
+
+    if let Some(path) = &trace_path {
+        trace.write_chrome_trace(path)?;
+        println!("chrome trace: wrote {path} (load in Perfetto / chrome://tracing)");
+    }
+    if trace.is_enabled() {
+        println!(
+            "run_report_json={}",
+            trace.run_report_json("fused_addition")
+        );
     }
     Ok(())
 }

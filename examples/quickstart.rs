@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- --parallel [N_THREADS]
-//! cargo run --release --example quickstart -- --skew 0.9 --parallel
+//! cargo run --release --example quickstart -- --skew 0.9 --trace trace.json
+//! SPD_TRACE=1 cargo run --release --example quickstart -- --skew 0.95
 //! ```
 //!
 //! The statement is auto-scheduled (`ScheduleSpec::Auto`): the program
@@ -13,23 +14,35 @@
 //! distribution from the matrix's nnz statistics, re-examining the choice
 //! after a warm-up run — and prints which one it picked and why.
 //!
-//! With `--parallel`, leaf kernels additionally run on the work-stealing
-//! executor (the simulated time is identical by construction: the executor
-//! never feeds back into the cost model). With `--skew <alpha>`, the
-//! banded matrix is replaced by a *clustered* R-MAT input
+//! Leaf kernels run on the work-stealing executor by default (at least two
+//! workers, so steals are observable even on one-core hosts; the simulated
+//! time is identical to a serial run by construction — the executor never
+//! feeds back into the cost model). `--parallel [N]` pins the worker
+//! count, `--serial` opts back out. With `--skew <alpha>`, the banded
+//! matrix is replaced by a *clustered* R-MAT input
 //! (`generate::rmat_clustered`): hub rows concentrate at low indices, the
 //! blocked row distribution hands one color most of the non-zeros, and the
 //! auto-scheduler switches to the statically load-balanced non-zero
 //! distribution.
+//!
+//! `--trace <path>` (or the `SPD_TRACE` environment variable: `1` for
+//! `trace.json`, any other value is the path) turns on the structured
+//! trace: the run writes a Chrome trace-event file loadable in Perfetto /
+//! `chrome://tracing` and prints a one-line `run_report_json=` metrics
+//! summary.
 
+use spdistal_repro::obs;
 use spdistal_repro::sparse::{dense_vector, generate, reference};
 use spdistal_repro::spdistal::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Optional flags: `--parallel [N]`, `--skew <alpha>`.
+    // Optional flags: `--parallel [N]`, `--serial`, `--skew <alpha>`,
+    // `--trace <path>`.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut parallel_threads: Option<usize> = None;
+    let mut serial = false;
     let mut skew: Option<f64> = None;
+    let mut trace_path: Option<String> = None;
     let mut k = 0;
     while k < args.len() {
         match args[k].as_str() {
@@ -44,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     None => parallel_threads = Some(0),
                 }
             }
+            "--serial" => serial = true,
             "--skew" => {
                 let alpha = args
                     .get(k + 1)
@@ -52,15 +66,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 skew = Some(alpha);
                 k += 1;
             }
+            "--trace" => {
+                trace_path = Some(args.get(k + 1).ok_or("--trace needs a <path>")?.clone());
+                k += 1;
+            }
             unknown => {
                 eprintln!(
-                    "unknown argument '{unknown}' (supported: --parallel [N], --skew <alpha>)"
+                    "unknown argument '{unknown}' (supported: --parallel [N], --serial, \
+                     --skew <alpha>, --trace <path>)"
                 );
                 std::process::exit(2);
             }
         }
         k += 1;
     }
+    let trace_path = trace_path.or_else(obs::env_trace_path);
+    let trace = if trace_path.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
 
     // Param pieces;  Machine M(Grid(pieces));
     let pieces = 4;
@@ -87,10 +112,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .stmt("a(i) = B(i,j) * c(j)")
         .auto()
-        .exec_mode(match parallel_threads {
-            Some(t) => ExecMode::Parallel(t),
-            None => ExecMode::Serial,
+        .exec_mode(if serial {
+            ExecMode::Serial
+        } else {
+            // At least two workers even on a one-core host, so the
+            // work-stealing counters (and trace events) have something
+            // to show.
+            ExecMode::Parallel(parallel_threads.unwrap_or_else(default_threads))
         })
+        .trace(trace.clone())
         .build()?;
 
     // Warm-up + one steady-state iteration: the plan compiles once per
@@ -133,14 +163,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  result matches the serial reference ✔");
 
-    // With --parallel: report the executor's two-level counters and check
-    // bit-identity against a serial run of the same program. The serial
-    // comparison is pinned to the schedule the parallel program's
-    // auto-tuner ended on — re-running Auto serially could legitimately
-    // choose differently (the measured-skew feedback only fires when the
-    // executor actually steals), which is a schedule difference, not a
-    // correctness one.
-    if parallel_threads.is_some() {
+    // When parallel (the default): report the executor's two-level
+    // counters and check bit-identity against a serial run of the same
+    // program. The serial comparison is pinned to the schedule the
+    // parallel program's auto-tuner ended on — re-running Auto serially
+    // could legitimately choose differently (the measured-skew feedback
+    // only fires when the executor actually steals), which is a schedule
+    // difference, not a correctness one.
+    if !serial {
         let par = &result;
         let pinned = match report.stmts[0].schedule_kind {
             "non-zero" => ScheduleSpec::nonzero(),
@@ -187,5 +217,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("  bit-identical to the serial path ✔");
     }
+
+    if let Some(path) = &trace_path {
+        program.write_chrome_trace(path)?;
+        println!("  chrome trace     : wrote {path} (load in Perfetto / chrome://tracing)");
+    }
+    if trace.is_enabled() {
+        println!("run_report_json={}", program.run_report_json("quickstart"));
+    }
     Ok(())
+}
+
+/// Default worker count for the work-stealing executor: the host's
+/// available parallelism, but never fewer than two.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
 }

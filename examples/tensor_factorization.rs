@@ -23,7 +23,13 @@
 //! overlaps them on the work-stealing pool (vs. launch-at-a-time), with
 //! bit-identical results and a modeled makespan strictly below the
 //! sequential modeled sum.
+//!
+//! `--trace <path>` (or `SPD_TRACE`) records every run of the session —
+//! serial, launch-at-a-time, pipelined — onto one structured trace,
+//! written as Chrome trace-event JSON plus a one-line `run_report_json=`
+//! metrics summary.
 
+use spdistal_repro::obs;
 use spdistal_repro::sparse::convert::permuted;
 use spdistal_repro::sparse::{dense_matrix, generate, reference};
 use spdistal_repro::spdistal::prelude::*;
@@ -49,10 +55,12 @@ fn build(
     alpha: f64,
     mode: ExecMode,
     pipelined: bool,
+    trace: &Trace,
 ) -> Result<CompiledProgram, Box<dyn std::error::Error>> {
     let b = generate::tensor3_skewed(DIMS, NNZ, alpha, 11);
     let mut program = Program::on(Machine::grid1d(PIECES, MachineProfile::lassen_cpu()))
         .exec_mode(mode)
+        .trace(trace.clone())
         .tensor("B0", Format::blocked_csf3(), b.clone())
         .tensor(
             "B1",
@@ -109,8 +117,9 @@ fn run(
     alpha: f64,
     pipelined: bool,
     verify: bool,
+    trace: &Trace,
 ) -> Result<RunOutcome, Box<dyn std::error::Error>> {
-    let mut program = build(alpha, mode, pipelined)?;
+    let mut program = build(alpha, mode, pipelined, trace)?;
     program.run_iters_with(SWEEPS, |ctx, _sweep| {
         if verify {
             // Each mode against the serial oracle with the pre-sweep
@@ -152,9 +161,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pipeline_threads: Option<usize> = None;
     let mut alpha = DEFAULT_ALPHA;
+    let mut trace_path: Option<String> = None;
     let mut k = 0;
     while k < args.len() {
         match args[k].as_str() {
+            "--trace" => {
+                trace_path = Some(args.get(k + 1).ok_or("--trace needs a <path>")?.clone());
+                k += 1;
+            }
             "--pipeline" => {
                 // Bare `--pipeline` means Parallel(0): auto-detect, see
                 // the ExecMode::Parallel docs for the policy.
@@ -175,20 +189,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             unknown => {
                 eprintln!(
-                    "unknown argument '{unknown}' (supported: --pipeline [N], --skew <alpha>)"
+                    "unknown argument '{unknown}' (supported: --pipeline [N], --skew <alpha>, \
+                     --trace <path>)"
                 );
                 std::process::exit(2);
             }
         }
         k += 1;
     }
+    let trace_path = trace_path.or_else(obs::env_trace_path);
+    let trace = if trace_path.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
 
     println!(
         "CP-ALS (Jacobi) on a {DIMS:?} tensor (slice skew alpha {alpha}), rank {RANK}, \
          {PIECES} nodes, {SWEEPS} sweeps:\
          \n  one Program, 3 independent SpMTTKRP mode updates per sweep"
     );
-    let (serial_finals, serial) = run(ExecMode::Serial, alpha, false, true)?;
+    let (serial_finals, serial) = run(ExecMode::Serial, alpha, false, true, &trace)?;
     println!(
         "serial launch-at-a-time: compute {:8.3} ms wall-clock \
          ({} batches, {} plan compiles + {} cache hits over {} statement runs, \
@@ -206,8 +227,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(threads) = pipeline_threads {
         let mode = ExecMode::Parallel(threads);
-        let (lat_finals, lat) = run(mode, alpha, false, false)?;
-        let (pipe_finals, pipe) = run(mode, alpha, true, false)?;
+        let (lat_finals, lat) = run(mode, alpha, false, false, &trace)?;
+        let (pipe_finals, pipe) = run(mode, alpha, true, false, &trace)?;
         for factors in [&lat_finals, &pipe_finals] {
             assert_eq!(serial_finals.len(), factors.len());
             for (s, p) in serial_finals.iter().zip(factors.iter()) {
@@ -262,6 +283,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  (launch-at-a-time flushes modeled {:8.3} ms — no overlap by construction)",
             lat.model_makespan * 1e3
+        );
+    }
+
+    if let Some(path) = &trace_path {
+        trace.write_chrome_trace(path)?;
+        println!("chrome trace: wrote {path} (load in Perfetto / chrome://tracing)");
+    }
+    if trace.is_enabled() {
+        println!(
+            "run_report_json={}",
+            trace.run_report_json("tensor_factorization")
         );
     }
     Ok(())

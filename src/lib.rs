@@ -7,5 +7,6 @@
 pub use spdistal;
 pub use spdistal_baselines as baselines;
 pub use spdistal_ir as ir;
+pub use spdistal_obs as obs;
 pub use spdistal_runtime as runtime;
 pub use spdistal_sparse as sparse;
