@@ -28,19 +28,6 @@ cargo bench -p spdistal-bench --bench parallel_exec
 echo "==> bench smoke: pipeline_exec (launch-at-a-time vs pipelined CP-ALS)"
 cargo bench -p spdistal-bench --bench pipeline_exec
 
-echo "==> bench smoke: skewed_exec (split vs unsplit on skewed inputs)"
-# Must emit 'run_report_json=<json>'; persisted as the perf trajectory.
-skewed_out="$(cargo bench -p spdistal-bench --bench skewed_exec)"
-echo "$skewed_out"
-grep -m1 "^run_report_json=" <<<"$skewed_out" | sed 's/^run_report_json=//' >BENCH_skewed_exec.json
-echo "wrote BENCH_skewed_exec.json"
-
-echo "==> bench smoke: model_pipeline (modeled sequential vs graph-ordered CP-ALS)"
-# Must emit 'modeled_overlap=<r>' for perf trajectory files.
-model_out="$(cargo bench -p spdistal-bench --bench model_pipeline)"
-echo "$model_out"
-grep "^modeled_overlap=" <<<"$model_out"
-
 echo "==> program_api smoke: quickstart via Program + ScheduleSpec::Auto"
 # On the clustered input the auto-scheduler must pick (and log) the
 # non-zero distribution; on the default banded input, outer-dim.
@@ -50,25 +37,23 @@ grep -q "auto-scheduler picked: non-zero" <<<"$quickstart_out"
 quickstart_default_out="$(cargo run --release -q --example quickstart)"
 grep -q "auto-scheduler picked: outer-dim" <<<"$quickstart_default_out"
 
-echo "==> bench smoke: program_overhead (plan cache vs per-iteration recompile)"
-# Must emit 'cache_hit_speedup=<r>' and 'run_report_json=<json>'; the
-# latter is persisted as the perf trajectory.
-overhead_out="$(cargo bench -p spdistal-bench --bench program_overhead)"
-echo "$overhead_out"
-grep "^cache_hit_speedup=" <<<"$overhead_out"
-grep -m1 "^run_report_json=" <<<"$overhead_out" | sed 's/^run_report_json=//' >BENCH_program_overhead.json
-echo "wrote BENCH_program_overhead.json"
-
 echo "==> trace smoke: quickstart --skew 0.95 --trace, validated by trace_check"
 # The skewed parallel run must record ≥1 steal and ≥1 auto-decision event
 # (plus spans, launches, cache traffic, and model-timeline events).
 cargo run --release -q --example quickstart -- --skew 0.95 --trace /tmp/spd_trace.json |
   grep "^run_report_json="
-cargo run --release -q -p spdistal-bench --bin trace_check -- /tmp/spd_trace.json \
+cargo run --release -q -p spdistal-bench --bin trace_check -- /tmp/spd_trace.json --summary \
   --require steal --require auto-decision \
   --require span --require launch --require cache --require model
 
-echo "==> bench smoke: fig10 strong scaling (small scale)"
-SPDISTAL_SCALE=0.05 cargo run --release -q -p spdistal-bench --bin fig10_cpu_strong_scaling
+echo "==> example smoke: load_balance via Program (row vs non-zero)"
+cargo run --release -q --example load_balance | grep "^run_report_json="
+
+echo "==> spd-harness: ci bench suite, merged reports, regression gate"
+# Runs every ci-suite scenario as release child processes (fixed seeds,
+# pinned scale/threads), merges repeats into BENCH_<scenario>.json, and
+# exits nonzero if any histogram mean regressed past SPD_BENCH_TOLERANCE
+# versus the committed trajectory point. See docs/benchmarking.md.
+cargo run --release -q -p spdistal-bench --bin spd-harness -- run --suite ci
 
 echo "ci.sh: all green"

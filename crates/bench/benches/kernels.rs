@@ -2,17 +2,29 @@
 //! end-to-end compile+execute pipeline for each evaluation kernel
 //! (complementing the figure binaries, which report modeled time).
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use spdistal::level_funcs::{
     equal_coord_bounds, nonzero_partition, partition_tensor, universe_partition,
 };
+use spdistal::prelude::Trace;
 use spdistal_bench::{make_inputs, run_spdistal, Kern};
 use spdistal_runtime::MachineProfile;
 use spdistal_sparse::{dataset, generate};
 
+/// Dataset scale: `SPDISTAL_SCALE` when set (the harness pins it), else
+/// the historical 0.2 micro-benchmark size.
+fn scale() -> f64 {
+    std::env::var("SPDISTAL_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2)
+}
+
 fn leaf_kernels(c: &mut Criterion) {
-    let b = dataset::by_name("uk-2005").unwrap().generate(0.2);
+    let b = dataset::by_name("uk-2005").unwrap().generate(scale());
     let n = b.dims()[0];
     let x = generate::dense_vec(b.dims()[1], 1);
     let colors = 8;
@@ -61,8 +73,8 @@ fn leaf_kernels(c: &mut Criterion) {
 
 fn end_to_end(c: &mut Criterion) {
     let profile = MachineProfile::lassen_cpu();
-    let mat = dataset::by_name("nlpkkt240").unwrap().generate(0.2);
-    let t3 = dataset::by_name("nell-2").unwrap().generate(0.2);
+    let mat = dataset::by_name("nlpkkt240").unwrap().generate(scale());
+    let t3 = dataset::by_name("nell-2").unwrap().generate(scale());
     let mut g = c.benchmark_group("compile_and_run");
     for kern in [Kern::SpMv, Kern::SpMm, Kern::SpAdd3, Kern::Sddmm] {
         let inputs = make_inputs(kern, &mat);
@@ -84,9 +96,40 @@ fn end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+/// One timed compile+execute pass per kernel into the run report: each
+/// kernel's end-to-end wall latency lands in a `<kern>_e2e_ns` histogram
+/// (and the count of completed kernels in a counter) so the harness can
+/// persist and gate the micro-benchmark trajectory.
+fn kernel_report(_c: &mut Criterion) {
+    const RUNS: usize = 3;
+    let trace = Trace::enabled();
+    let profile = MachineProfile::lassen_cpu();
+    let mat = dataset::by_name("nlpkkt240").unwrap().generate(scale());
+    let t3 = dataset::by_name("nell-2").unwrap().generate(scale());
+    let mut kernels_ok = 0u64;
+    let mut run = |kern: Kern, b: &spdistal_sparse::SpTensor, nonzero: bool| {
+        let inputs = make_inputs(kern, b);
+        let hist = format!("{}_e2e_ns", kern.name().to_lowercase());
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            run_spdistal(kern, &inputs, 4, &profile, nonzero).unwrap();
+            trace.observe_ns(&hist, t0.elapsed().as_nanos() as u64);
+        }
+        kernels_ok += 1;
+    };
+    for kern in [Kern::SpMv, Kern::SpMm, Kern::SpAdd3, Kern::Sddmm] {
+        run(kern, &mat, kern == Kern::Sddmm);
+    }
+    for kern in [Kern::SpTtv, Kern::SpMttkrp] {
+        run(kern, &t3, false);
+    }
+    trace.add("kernels_ok", kernels_ok);
+    println!("run_report_json={}", trace.run_report_json("kernels"));
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = leaf_kernels, end_to_end
+    targets = leaf_kernels, end_to_end, kernel_report
 }
 criterion_main!(benches);

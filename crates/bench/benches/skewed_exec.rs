@@ -92,9 +92,10 @@ fn workloads(threads: usize, trace: &Trace) -> Vec<(&'static str, CompiledProgra
 }
 
 /// Equal thread count for both policies; at least 2 so the pool (and
-/// stealing) is real even on a single-core host.
+/// stealing) is real even on a single-core host. The harness pins this
+/// via `SPD_BENCH_THREADS` for reproducible trajectory points.
 fn threads() -> usize {
-    ExecMode::Parallel(0).threads().max(2)
+    spdistal_bench::bench_threads(2)
 }
 
 /// Run the program once and return the statement's compute wall-clock.

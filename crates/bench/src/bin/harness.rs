@@ -1,0 +1,214 @@
+//! `spd-harness` — orchestrates the evaluation binaries as child
+//! processes, merges their run reports across repeats, persists the
+//! schema-versioned `BENCH_<scenario>.json` trajectory files, and gates
+//! on regressions against the committed previous point.
+//!
+//! ```text
+//! spd-harness run --suite ci                 # the ci.sh invocation
+//! spd-harness run --scenario skewed_exec --repeats 3
+//! spd-harness run --suite ci --baseline BENCH_skewed_exec.json
+//! spd-harness list
+//! ```
+//!
+//! Exit status: 0 when every scenario's verdict is `ok`, 1 on any
+//! regression or orchestration failure. Tolerance comes from
+//! `SPD_BENCH_TOLERANCE` (ratio of merged means; `<= 0` disables gating).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use spdistal_bench::harness::{
+    compare, merge_runs, render_delta_table, run_child, suite, tolerance_from_env, ChildRun,
+    Scenario, Verdict,
+};
+use spdistal_obs::json::Json;
+
+struct Opts {
+    suite: String,
+    repeats: usize,
+    scenarios: Vec<String>,
+    baseline: Option<PathBuf>,
+    out_dir: PathBuf,
+}
+
+fn usage() -> String {
+    "usage: spd-harness <run|list> [--suite ci|full] [--repeats N] \
+     [--scenario NAME]... [--baseline FILE] [--out-dir DIR]"
+        .to_string()
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        suite: "ci".to_string(),
+        repeats: 2,
+        scenarios: Vec::new(),
+        baseline: None,
+        out_dir: PathBuf::from("."),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--suite" => opts.suite = val("--suite")?,
+            "--repeats" => {
+                opts.repeats = val("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if opts.repeats == 0 {
+                    return Err("--repeats must be >= 1".to_string());
+                }
+            }
+            "--scenario" => opts.scenarios.push(val("--scenario")?),
+            "--baseline" => opts.baseline = Some(PathBuf::from(val("--baseline")?)),
+            "--out-dir" => opts.out_dir = PathBuf::from(val("--out-dir")?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected_scenarios(opts: &Opts) -> Result<Vec<Scenario>, String> {
+    if opts.scenarios.is_empty() {
+        let list = suite(&opts.suite);
+        if list.is_empty() {
+            return Err(format!("unknown suite '{}' (try ci or full)", opts.suite));
+        }
+        return Ok(list);
+    }
+    let all = suite("full");
+    opts.scenarios
+        .iter()
+        .map(|name| {
+            all.iter()
+                .find(|s| s.name == *name)
+                .cloned()
+                .ok_or_else(|| format!("unknown scenario '{name}' (spd-harness list)"))
+        })
+        .collect()
+}
+
+/// The committed previous point for a scenario: an explicit `--baseline`
+/// file (any scenario) or `<out-dir>/BENCH_<name>.json`. `None` when the
+/// file does not exist; unparseable files are an error (silently treating
+/// a corrupt baseline as "first run" would un-gate CI).
+fn load_baseline(opts: &Opts, scenario: &str) -> Result<Option<Json>, String> {
+    let path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.out_dir.join(format!("BENCH_{scenario}.json")));
+    if !path.exists() {
+        return Ok(None);
+    }
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+    Json::parse(&src)
+        .map(Some)
+        .map_err(|e| format!("parsing baseline {}: {e}", path.display()))
+}
+
+fn cmd_list() -> ExitCode {
+    println!(
+        "{:<28} {:<10} {:>7} {:>6}  command",
+        "scenario", "suites", "threads", "scale"
+    );
+    for s in suite("full") {
+        println!(
+            "{:<28} {:<10} {:>7} {:>6}  {}",
+            s.name,
+            s.suites.join(","),
+            s.threads,
+            s.scale,
+            s.command.join(" "),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(opts: &Opts) -> Result<Verdict, String> {
+    let scenarios = selected_scenarios(opts)?;
+    let tolerance = tolerance_from_env();
+    println!(
+        "spd-harness: suite={} scenarios={} repeats={} tolerance={}",
+        opts.suite,
+        scenarios.len(),
+        opts.repeats,
+        tolerance,
+    );
+    let mut verdict = Verdict::Ok;
+    for scenario in &scenarios {
+        println!("==> {} ({} repeats)", scenario.name, opts.repeats);
+        // Load the baseline before overwriting its file with the fresh point.
+        let baseline = load_baseline(opts, scenario.name)?;
+        let mut runs: Vec<ChildRun> = Vec::with_capacity(opts.repeats);
+        for rep in 0..opts.repeats {
+            let run = run_child(&scenario.command, &scenario.env)
+                .map_err(|e| format!("scenario {} repeat {rep}: {e}", scenario.name))?;
+            println!("    repeat {rep}: {:.2}s", run.wall_seconds);
+            runs.push(run);
+        }
+        let merged = merge_runs(scenario, &runs)?;
+        let out = opts.out_dir.join(format!("BENCH_{}.json", scenario.name));
+        write_atomic(&out, &merged.bench_file_json(&opts.suite))?;
+        println!("    wrote {}", out.display());
+        let cmp = compare(baseline.as_ref(), &merged, tolerance);
+        print!("{}", render_delta_table(scenario.name, &cmp));
+        if cmp.verdict == Verdict::Regressed {
+            verdict = Verdict::Regressed;
+        }
+    }
+    println!(
+        "spd-harness: overall verdict: {}",
+        match verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+        }
+    );
+    Ok(verdict)
+}
+
+/// Write via a temp file + rename so an interrupted run never leaves a
+/// truncated trajectory file behind.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming to {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => {
+            let opts = match parse_opts(rest) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("spd-harness: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd_run(&opts) {
+                Ok(Verdict::Ok) => ExitCode::SUCCESS,
+                Ok(Verdict::Regressed) => {
+                    eprintln!("spd-harness: regression detected (see delta tables above)");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("spd-harness: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("spd-harness: unknown command {other}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! `Trace::write_chrome_trace` and assert it contains required events.
 //!
 //! ```text
-//! trace_check <trace.json> [--require <category-or-name>]...
+//! trace_check <trace.json> [--require <category-or-name>]... [--summary]
 //! ```
 //!
 //! Validation checks the trace-event JSON shape (every event has a name, a
@@ -10,8 +10,11 @@
 //! durations). Each `--require` matches either an event *category*
 //! (`flush`, `launch`, `span`, `steal`, `cache`, `auto`, `model`) or an
 //! exact event *name* (`steal`, `auto-decision`, `plan-cache hit`, ...)
-//! and fails unless at least one such event is present. Exits non-zero
-//! with a message on any failure, prints a one-line summary on success.
+//! and fails unless at least one such event is present. `--summary`
+//! additionally prints per-category event counts and, for categories with
+//! window (`"X"`) events, duration percentiles — for quick eyeballing of
+//! harness runs. Exits non-zero with a message on any failure, prints a
+//! one-line summary on success.
 
 use spdistal_obs::validate_chrome_trace;
 
@@ -19,6 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut summary = false;
     let mut k = 0;
     while k < args.len() {
         match args[k].as_str() {
@@ -30,11 +34,13 @@ fn main() {
                 required.push(what.clone());
                 k += 1;
             }
+            "--summary" => summary = true,
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
                 eprintln!(
                     "trace_check: unexpected argument '{other}' \
-                     (usage: trace_check <trace.json> [--require <category-or-name>]...)"
+                     (usage: trace_check <trace.json> [--require <category-or-name>]... \
+                     [--summary])"
                 );
                 std::process::exit(2);
             }
@@ -60,6 +66,27 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if summary {
+        println!("trace_check: {path} summary");
+        println!(
+            "  {:<10} {:>8}   duration percentiles (us, upper bounds)",
+            "category", "events"
+        );
+        for (cat, n) in &stats.by_cat {
+            match stats.dur_ns_by_cat.get(cat) {
+                Some(h) if !h.is_empty() => {
+                    let s = h.summarize().scaled(1e-3);
+                    println!(
+                        "  {:<10} {:>8}   p50 {:>12.3}  p95 {:>12.3}  p99 {:>12.3}  \
+                         mean {:>12.3}  max {:>12.3}",
+                        cat, n, s.p50, s.p95, s.p99, s.mean, s.max
+                    );
+                }
+                _ => println!("  {cat:<10} {n:>8}   (instant events only)"),
+            }
+        }
+    }
 
     let mut missing = Vec::new();
     for what in &required {

@@ -1,0 +1,593 @@
+//! `spd-harness` — the process-based bench orchestrator behind the
+//! persisted perf trajectory (`BENCH_<scenario>.json`).
+//!
+//! The harness runs the *release* bench and figure binaries as child
+//! processes with fixed seeds and pinned thread counts, extracts each
+//! child's single-line `run_report_json=` summary, merges counters and
+//! log2 latency histograms across repeats (exactly, via
+//! [`HistSnapshot::merge`]), writes one schema-versioned
+//! `BENCH_<scenario>.json` per scenario, and compares the fresh point
+//! against the previously committed one — emitting a per-metric delta
+//! table and an `ok` / `regressed` verdict that ci.sh gates on.
+//!
+//! Design notes (mirroring WIND's release-artifact harness):
+//!
+//! * **Benchmark what ships**: children are `cargo bench` / `cargo run
+//!   --release` invocations, never in-process library calls, so the
+//!   numbers include real binary start-up and the release codegen.
+//! * **Reproducibility**: every scenario's seeds are compile-time
+//!   constants in the child; the harness pins `SPDISTAL_SCALE` and
+//!   `SPD_BENCH_THREADS` per scenario and records both in the report.
+//! * **Machine-readable everything**: children speak one line of JSON;
+//!   the harness speaks `BENCH_*.json`; the only human-oriented output is
+//!   the delta table.
+//!
+//! See `docs/benchmarking.md` for the scenario catalogue, the report
+//! schema, and how to read a regression verdict.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+use std::time::Instant;
+
+use spdistal_obs::json::{escape, number, Json};
+use spdistal_obs::report::hist_json;
+use spdistal_obs::{HistSnapshot, HistSummary};
+
+/// Version stamp written into (and required of) every `BENCH_*.json`.
+/// Bump when the file layout changes; comparison against a different
+/// schema is skipped with a note instead of misreading fields.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default regression tolerance: a metric regresses when its merged mean
+/// exceeds the baseline's by more than this ratio. Generous enough for CI
+/// noise on wall-clock metrics (modeled-time metrics are deterministic and
+/// sit at ratio 1.0), tight enough that a genuine 2x latency regression
+/// fails.
+pub const DEFAULT_TOLERANCE: f64 = 1.8;
+
+/// The marker line children print: `run_report_json=<one-line JSON>`.
+pub const REPORT_MARKER: &str = "run_report_json=";
+
+/// `SPD_BENCH_TOLERANCE` when set and parseable, else
+/// [`DEFAULT_TOLERANCE`]. Values `<= 0` disable gating entirely.
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("SPD_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// One benchmark scenario: a child-process invocation expected to print a
+/// `run_report_json=` line, plus the reproducibility metadata recorded in
+/// its `BENCH_<name>.json`.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Trajectory file stem: `BENCH_<name>.json`.
+    pub name: &'static str,
+    /// argv, `command[0]` being the program.
+    pub command: Vec<String>,
+    /// Environment pinned onto the child.
+    pub env: Vec<(String, String)>,
+    /// Suites this scenario belongs to (`"ci"`, `"full"`).
+    pub suites: &'static [&'static str],
+    /// Worker threads the scenario pins (0 = scenario is serial/modeled).
+    pub threads: usize,
+    /// `SPDISTAL_SCALE` the scenario pins.
+    pub scale: f64,
+}
+
+fn cargo_bench(name: &'static str) -> Vec<String> {
+    ["cargo", "bench", "-p", "spdistal-bench", "--bench", name]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn cargo_bin(name: &'static str) -> Vec<String> {
+    [
+        "cargo",
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "spdistal-bench",
+        "--bin",
+        name,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// The scenario catalogue: the whole harness-drivable evaluation surface.
+/// The `ci` suite is the small-scale subset ci.sh runs and gates on; the
+/// `full` suite adds the remaining figure/table binaries at their default
+/// scale.
+pub fn all_scenarios() -> Vec<Scenario> {
+    const CI_SCALE: f64 = 0.05;
+    const CI_THREADS: usize = 2;
+    let pin = |scale: f64, threads: usize| {
+        let mut env = vec![("SPDISTAL_SCALE".to_string(), format!("{scale}"))];
+        if threads > 0 {
+            env.push(("SPD_BENCH_THREADS".to_string(), format!("{threads}")));
+        }
+        env
+    };
+    vec![
+        Scenario {
+            name: "program_overhead",
+            command: cargo_bench("program_overhead"),
+            env: pin(CI_SCALE, CI_THREADS),
+            suites: &["ci", "full"],
+            threads: CI_THREADS,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "skewed_exec",
+            command: cargo_bench("skewed_exec"),
+            env: pin(CI_SCALE, CI_THREADS),
+            suites: &["ci", "full"],
+            threads: CI_THREADS,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "model_pipeline",
+            command: cargo_bench("model_pipeline"),
+            env: pin(CI_SCALE, CI_THREADS),
+            suites: &["ci", "full"],
+            threads: CI_THREADS,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "kernels",
+            command: cargo_bench("kernels"),
+            env: pin(CI_SCALE, 0),
+            suites: &["ci", "full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "fig10_cpu_strong_scaling",
+            command: cargo_bin("fig10_cpu_strong_scaling"),
+            env: pin(CI_SCALE, 0),
+            suites: &["ci", "full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "ablations",
+            command: cargo_bin("ablations"),
+            env: pin(CI_SCALE, 0),
+            suites: &["ci", "full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "fig13_weak_scaling",
+            command: cargo_bin("fig13_weak_scaling"),
+            env: pin(CI_SCALE, 0),
+            suites: &["full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "fig11_gpu_heatmap",
+            command: cargo_bin("fig11_gpu_heatmap"),
+            env: pin(CI_SCALE, 0),
+            suites: &["full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "fig12_gpu_vs_cpu",
+            command: cargo_bin("fig12_gpu_vs_cpu"),
+            env: pin(CI_SCALE, 0),
+            suites: &["full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+        Scenario {
+            name: "table2_datasets",
+            command: cargo_bin("table2_datasets"),
+            env: pin(CI_SCALE, 0),
+            suites: &["full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+    ]
+}
+
+/// The scenarios belonging to `suite` (empty when the suite is unknown).
+pub fn suite(name: &str) -> Vec<Scenario> {
+    all_scenarios()
+        .into_iter()
+        .filter(|s| s.suites.contains(&name))
+        .collect()
+}
+
+/// One completed child run: the parsed report plus its wall time.
+#[derive(Clone, Debug)]
+pub struct ChildRun {
+    pub report: Json,
+    pub wall_seconds: f64,
+}
+
+/// Find and parse the child's `run_report_json=` line. The *last* marker
+/// line wins (a child may run several phases); missing or malformed lines
+/// are errors naming the scenario's contract.
+pub fn extract_report(stdout: &str) -> Result<Json, String> {
+    let line = stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix(REPORT_MARKER))
+        .ok_or_else(|| {
+            format!(
+                "no '{REPORT_MARKER}' line in child stdout ({} lines)",
+                stdout.lines().count()
+            )
+        })?;
+    Json::parse(line).map_err(|e| format!("malformed {REPORT_MARKER} payload: {e}"))
+}
+
+/// Run one scenario child to completion: nonzero exit, spawn failure, and
+/// a missing/malformed report line are all errors (with enough child
+/// output attached to diagnose).
+pub fn run_child(command: &[String], env: &[(String, String)]) -> Result<ChildRun, String> {
+    let (prog, args) = command
+        .split_first()
+        .ok_or_else(|| "empty scenario command".to_string())?;
+    let t0 = Instant::now();
+    let out = Command::new(prog)
+        .args(args)
+        .envs(env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+        .output()
+        .map_err(|e| format!("failed to spawn {prog}: {e}"))?;
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    if !out.status.success() {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        return Err(format!(
+            "child exited with {}: {}\n--- stderr tail ---\n{}",
+            out.status,
+            command.join(" "),
+            tail(&stderr, 12),
+        ));
+    }
+    let report = extract_report(&stdout)
+        .map_err(|e| format!("{e}\n--- stdout tail ---\n{}", tail(&stdout, 12)))?;
+    Ok(ChildRun {
+        report,
+        wall_seconds,
+    })
+}
+
+fn tail(s: &str, n: usize) -> String {
+    let lines: Vec<&str> = s.lines().collect();
+    let k = lines.len().saturating_sub(n);
+    lines[k..].join("\n")
+}
+
+/// The merged trajectory point for one scenario: counters averaged per
+/// repeat, histograms merged exactly from each repeat's raw snapshot.
+#[derive(Clone, Debug)]
+pub struct MergedRun {
+    pub scenario: String,
+    pub threads: usize,
+    pub scale: f64,
+    pub repeats: usize,
+    /// Total child wall-clock across repeats (orchestration view, not a
+    /// gated metric).
+    pub wall_seconds: f64,
+    /// Per-repeat mean of every counter.
+    pub counters: BTreeMap<String, f64>,
+    /// Exact cross-repeat merge of every histogram, original (ns) units.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+/// Merge the repeats of one scenario. Counters average; `hist_raw`
+/// snapshots merge bucket-by-bucket. Reports without counters or
+/// histograms (e.g. a disabled trace) contribute nothing but still count
+/// as a repeat. Malformed `hist_raw` entries are errors — a silent skip
+/// would under-report the tail.
+pub fn merge_runs(scenario: &Scenario, runs: &[ChildRun]) -> Result<MergedRun, String> {
+    if runs.is_empty() {
+        return Err(format!(
+            "scenario {}: no completed repeats to merge",
+            scenario.name
+        ));
+    }
+    let mut counters: BTreeMap<String, f64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistSnapshot> = BTreeMap::new();
+    let mut wall_seconds = 0.0;
+    for run in runs {
+        wall_seconds += run.wall_seconds;
+        if let Some(Json::Obj(m)) = run.report.get("counters") {
+            for (k, v) in m {
+                let v = v.as_f64().ok_or_else(|| {
+                    format!("scenario {}: counter {k} is not a number", scenario.name)
+                })?;
+                *counters.entry(k.clone()).or_insert(0.0) += v;
+            }
+        }
+        if let Some(Json::Obj(m)) = run.report.get("hist_raw") {
+            for (k, v) in m {
+                let snap = HistSnapshot::from_json(v)
+                    .map_err(|e| format!("scenario {}: hist_raw {k}: {e}", scenario.name))?;
+                hists.entry(k.clone()).or_default().merge(&snap);
+            }
+        }
+    }
+    for v in counters.values_mut() {
+        *v /= runs.len() as f64;
+    }
+    Ok(MergedRun {
+        scenario: scenario.name.to_string(),
+        threads: scenario.threads,
+        scale: scenario.scale,
+        repeats: runs.len(),
+        wall_seconds,
+        counters,
+        hists,
+    })
+}
+
+impl MergedRun {
+    /// The summarized (human/gating) view of the merged histograms:
+    /// `*_ns` histograms become `*_us` summaries in microseconds, exactly
+    /// as `Trace::run_report_json` reports them.
+    pub fn hist_summaries(&self) -> BTreeMap<String, HistSummary> {
+        self.hists
+            .iter()
+            .map(|(k, snap)| {
+                let s = snap.summarize();
+                match k.strip_suffix("_ns") {
+                    Some(base) => (format!("{base}_us"), s.scaled(1e-3)),
+                    None => (k.clone(), s),
+                }
+            })
+            .collect()
+    }
+
+    /// Render the schema-versioned `BENCH_<scenario>.json` document.
+    pub fn bench_file_json(&self, suite: &str) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", escape(k), number(*v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let hist = self
+            .hist_summaries()
+            .iter()
+            .map(|(k, s)| format!("\"{}\":{}", escape(k), hist_json(s)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let raw = self
+            .hists
+            .iter()
+            .map(|(k, snap)| format!("\"{}\":{}", escape(k), snap.to_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema\":{BENCH_SCHEMA_VERSION},\"scenario\":\"{}\",\"suite\":\"{}\",\
+             \"threads\":{},\"scale\":{},\"repeats\":{},\"wall_seconds\":{},\
+             \"counters\":{{{counters}}},\"hist\":{{{hist}}},\"hist_raw\":{{{raw}}}}}",
+            escape(&self.scenario),
+            escape(suite),
+            self.threads,
+            number(self.scale),
+            self.repeats,
+            number(self.wall_seconds),
+        )
+    }
+}
+
+/// The regression verdict for one scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    Ok,
+    Regressed,
+}
+
+/// One line of the delta table.
+#[derive(Clone, Debug)]
+pub struct DeltaRow {
+    pub metric: String,
+    pub old: f64,
+    pub new: f64,
+    /// `new / old`; 0 when not computable.
+    pub ratio: f64,
+    /// `"ok"`, `"improved"`, `"REGRESSED"`, `"skipped"`, or `"info"`.
+    pub status: &'static str,
+    pub note: String,
+}
+
+/// The baseline comparison for one scenario: per-metric rows, free-form
+/// notes, and the verdict ci.sh gates on.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    pub rows: Vec<DeltaRow>,
+    pub notes: Vec<String>,
+    pub verdict: Verdict,
+}
+
+/// Compare a fresh merged point against the committed baseline document.
+///
+/// Gated metrics are the *means* of latency histograms — exact under
+/// merging and, unlike the log2-bucketed percentiles, not quantized to
+/// powers of two (a one-bucket noise shift would otherwise read as a 2x
+/// "regression"). Counters are reported as `info` rows, never gated
+/// (more steals is not a regression). Edge cases resolve to `ok`:
+/// no baseline, a different schema, or mismatched scale/threads skip
+/// gating with a note; zero-count or zero-mean metrics are `skipped`
+/// (never a divide-by-zero); `tolerance <= 0` disables gating.
+pub fn compare(baseline: Option<&Json>, fresh: &MergedRun, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison {
+        rows: Vec::new(),
+        notes: Vec::new(),
+        verdict: Verdict::Ok,
+    };
+    let Some(base) = baseline else {
+        cmp.notes
+            .push("no baseline — recording first trajectory point, verdict ok".to_string());
+        return cmp;
+    };
+    let schema = base.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    if schema != BENCH_SCHEMA_VERSION {
+        cmp.notes.push(format!(
+            "baseline schema {schema} != {BENCH_SCHEMA_VERSION} — comparison skipped, verdict ok"
+        ));
+        return cmp;
+    }
+    let gating = tolerance > 0.0;
+    if !gating {
+        cmp.notes
+            .push("tolerance <= 0 — gating disabled, delta table is informational".to_string());
+    }
+    for (what, val) in [("scale", fresh.scale), ("threads", fresh.threads as f64)] {
+        let old = base.get(what).and_then(Json::as_f64);
+        if old != Some(val) {
+            cmp.notes.push(format!(
+                "baseline {what} {:?} != fresh {val} — configs differ, gating skipped, verdict ok",
+                old
+            ));
+            return cmp;
+        }
+    }
+
+    // Latency histograms: gate on merged means.
+    let empty = Json::Obj(Default::default());
+    let base_hist = base.get("hist").unwrap_or(&empty);
+    for (name, s) in fresh.hist_summaries() {
+        let Some(old) = base_hist.get(&name) else {
+            cmp.rows.push(DeltaRow {
+                metric: name,
+                old: 0.0,
+                new: s.mean,
+                ratio: 0.0,
+                status: "skipped",
+                note: "metric absent from baseline".to_string(),
+            });
+            continue;
+        };
+        let old = match HistSummary::from_json(old) {
+            Ok(old) => old,
+            Err(e) => {
+                cmp.rows.push(DeltaRow {
+                    metric: name,
+                    old: 0.0,
+                    new: s.mean,
+                    ratio: 0.0,
+                    status: "skipped",
+                    note: format!("unreadable baseline entry: {e}"),
+                });
+                continue;
+            }
+        };
+        if old.count == 0 || s.count == 0 || old.mean <= 0.0 {
+            cmp.rows.push(DeltaRow {
+                metric: name,
+                old: old.mean,
+                new: s.mean,
+                ratio: 0.0,
+                status: "skipped",
+                note: "zero-count or zero-mean metric".to_string(),
+            });
+            continue;
+        }
+        let ratio = s.mean / old.mean;
+        let status = if !gating {
+            "info"
+        } else if ratio > tolerance {
+            cmp.verdict = Verdict::Regressed;
+            "REGRESSED"
+        } else if ratio < 1.0 / tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        cmp.rows.push(DeltaRow {
+            metric: name,
+            old: old.mean,
+            new: s.mean,
+            ratio,
+            status,
+            note: format!("mean (p99 {} -> {})", number(old.p99), number(s.p99)),
+        });
+    }
+
+    // Counters: informational only.
+    let base_counters = base.get("counters").unwrap_or(&empty);
+    for (name, &new) in &fresh.counters {
+        let old = base_counters
+            .get(name)
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let ratio = if old != 0.0 { new / old } else { 0.0 };
+        cmp.rows.push(DeltaRow {
+            metric: format!("counter:{name}"),
+            old,
+            new,
+            ratio,
+            status: "info",
+            note: String::new(),
+        });
+    }
+    cmp
+}
+
+/// Render the per-metric delta table for one scenario.
+pub fn render_delta_table(scenario: &str, cmp: &Comparison) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for note in &cmp.notes {
+        let _ = writeln!(out, "  note: {note}");
+    }
+    if !cmp.rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>14} {:>14} {:>8}  status",
+            "metric", "baseline", "fresh", "ratio"
+        );
+        for row in &cmp.rows {
+            let ratio = if row.ratio > 0.0 {
+                format!("{:.3}", row.ratio)
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>14} {:>14} {:>8}  {}{}",
+                row.metric,
+                trim_num(row.old),
+                trim_num(row.new),
+                ratio,
+                row.status,
+                if row.note.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", row.note)
+                },
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  verdict[{scenario}]: {}",
+        match cmp.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+        }
+    );
+    out
+}
+
+fn trim_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}

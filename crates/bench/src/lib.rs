@@ -16,6 +16,8 @@ use spdistal_ir::Format;
 use spdistal_runtime::ProcKind;
 use spdistal_sparse::{dense_matrix, dense_vector, generate, SpTensor};
 
+pub mod harness;
+
 /// The six evaluation kernels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Kern {
@@ -63,6 +65,21 @@ pub fn dataset_scale() -> f64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5)
+}
+
+/// Worker-thread count for wall-clock benches: `SPD_BENCH_THREADS` when
+/// set (the harness pins it per scenario for reproducibility), else the
+/// machine's parallelism, but never below `min`.
+pub fn bench_threads(min: usize) -> usize {
+    std::env::var("SPD_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(min)
+        })
+        .max(min)
 }
 
 /// Total time-constant scale relative to the paper's full-size runs: the

@@ -1,0 +1,307 @@
+//! Robustness tests for the `spd-harness` orchestration layer: child
+//! failure modes, report extraction, cross-repeat merging, and the
+//! baseline comparison's edge cases.
+
+use spdistal_bench::harness::{
+    compare, extract_report, merge_runs, render_delta_table, run_child, suite, ChildRun,
+    Comparison, MergedRun, Scenario, Verdict, BENCH_SCHEMA_VERSION,
+};
+use spdistal_obs::json::Json;
+use spdistal_obs::HistSnapshot;
+
+fn scenario(name: &'static str) -> Scenario {
+    Scenario {
+        name,
+        command: vec!["true".to_string()],
+        env: vec![],
+        suites: &["ci"],
+        threads: 2,
+        scale: 0.05,
+    }
+}
+
+fn sh(cmd: &str) -> Vec<String> {
+    vec!["sh".to_string(), "-c".to_string(), cmd.to_string()]
+}
+
+fn report_with_hist(mean_ns: u64, count: u64) -> ChildRun {
+    let mut snap = HistSnapshot::default();
+    for _ in 0..count {
+        snap.observe(mean_ns);
+    }
+    let line = format!(
+        "{{\"name\":\"t\",\"counters\":{{\"steals\":4}},\"hist_raw\":{{\"iter_ns\":{}}}}}",
+        snap.to_json()
+    );
+    ChildRun {
+        report: Json::parse(&line).unwrap(),
+        wall_seconds: 0.1,
+    }
+}
+
+fn merged(scen: &Scenario, mean_ns: u64) -> MergedRun {
+    merge_runs(
+        scen,
+        &[report_with_hist(mean_ns, 8), report_with_hist(mean_ns, 8)],
+    )
+    .unwrap()
+}
+
+// ---- report extraction ---------------------------------------------------
+
+#[test]
+fn extracts_last_report_line() {
+    let stdout =
+        "noise\nrun_report_json={\"name\":\"a\"}\nmore\nrun_report_json={\"name\":\"b\"}\n";
+    let report = extract_report(stdout).unwrap();
+    assert_eq!(report.get("name").unwrap().as_str(), Some("b"));
+}
+
+#[test]
+fn missing_report_line_is_an_error() {
+    let err = extract_report("plain output\nno markers here\n").unwrap_err();
+    assert!(err.contains("run_report_json="), "{err}");
+}
+
+#[test]
+fn malformed_report_line_is_an_error() {
+    let err = extract_report("run_report_json={not json\n").unwrap_err();
+    assert!(err.contains("malformed"), "{err}");
+}
+
+// ---- child processes -----------------------------------------------------
+
+#[test]
+fn child_success_with_report() {
+    let cmd = sh("echo 'run_report_json={\"name\":\"x\",\"counters\":{\"c\":1}}'");
+    let run = run_child(&cmd, &[]).unwrap();
+    assert_eq!(run.report.get("name").unwrap().as_str(), Some("x"));
+}
+
+#[test]
+fn child_nonzero_exit_is_an_error_with_stderr() {
+    let cmd = sh("echo oops >&2; exit 3");
+    let err = run_child(&cmd, &[]).unwrap_err();
+    assert!(err.contains("exited with"), "{err}");
+    assert!(err.contains("oops"), "stderr tail missing: {err}");
+}
+
+#[test]
+fn child_without_report_line_is_an_error() {
+    let err = run_child(&sh("echo hello"), &[]).unwrap_err();
+    assert!(err.contains("run_report_json="), "{err}");
+}
+
+#[test]
+fn child_env_is_pinned() {
+    let cmd = sh("echo \"run_report_json={\\\"name\\\":\\\"$SPD_TEST_VAR\\\"}\"");
+    let env = [("SPD_TEST_VAR".to_string(), "pinned".to_string())];
+    let run = run_child(&cmd, &env).unwrap();
+    assert_eq!(run.report.get("name").unwrap().as_str(), Some("pinned"));
+}
+
+// ---- merging -------------------------------------------------------------
+
+#[test]
+fn merge_sums_hists_and_averages_counters() {
+    let scen = scenario("m");
+    let m = merge_runs(
+        &scen,
+        &[report_with_hist(1000, 4), report_with_hist(3000, 4)],
+    )
+    .unwrap();
+    assert_eq!(m.repeats, 2);
+    assert_eq!(m.counters["steals"], 4.0); // (4 + 4) / 2
+    let h = &m.hists["iter_ns"];
+    assert_eq!(h.count, 8); // exact cross-repeat merge
+    assert_eq!(h.sum, 4 * 1000 + 4 * 3000);
+}
+
+#[test]
+fn merge_of_empty_histograms_is_empty_not_a_crash() {
+    let scen = scenario("empty");
+    let line = "{\"name\":\"t\",\"hist_raw\":{\"iter_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"buckets\":[]}}}";
+    let run = ChildRun {
+        report: Json::parse(line).unwrap(),
+        wall_seconds: 0.0,
+    };
+    let m = merge_runs(&scen, &[run.clone(), run]).unwrap();
+    assert!(m.hists["iter_ns"].is_empty());
+    // And comparing two empty-histogram points is a no-op, not a panic.
+    let base = Json::parse(&m.bench_file_json("ci")).unwrap();
+    let cmp = compare(Some(&base), &m, 1.8);
+    assert_eq!(cmp.verdict, Verdict::Ok);
+    assert!(cmp.rows.iter().all(|r| r.status == "skipped"));
+}
+
+#[test]
+fn merge_with_no_runs_is_an_error() {
+    assert!(merge_runs(&scenario("none"), &[]).is_err());
+}
+
+#[test]
+fn reports_without_hists_still_merge() {
+    let scen = scenario("bare");
+    let run = ChildRun {
+        report: Json::parse("{\"name\":\"t\",\"trace\":\"disabled\"}").unwrap(),
+        wall_seconds: 0.0,
+    };
+    let m = merge_runs(&scen, &[run]).unwrap();
+    assert!(m.hists.is_empty() && m.counters.is_empty());
+}
+
+// ---- BENCH file schema ---------------------------------------------------
+
+#[test]
+fn bench_file_is_schema_versioned_and_round_trips() {
+    let scen = scenario("schema");
+    let m = merged(&scen, 2000);
+    let doc = Json::parse(&m.bench_file_json("ci")).unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_f64(),
+        Some(BENCH_SCHEMA_VERSION as f64)
+    );
+    assert_eq!(doc.get("scenario").unwrap().as_str(), Some("schema"));
+    assert_eq!(doc.get("repeats").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("threads").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("scale").unwrap().as_f64(), Some(0.05));
+    // hist_raw round-trips to the exact merged snapshot.
+    let raw = doc.get("hist_raw").unwrap().get("iter_ns").unwrap();
+    assert_eq!(HistSnapshot::from_json(raw).unwrap(), m.hists["iter_ns"]);
+    // The summarized view scales *_ns to *_us.
+    assert!(doc.get("hist").unwrap().get("iter_us").is_some());
+}
+
+// ---- baseline comparison -------------------------------------------------
+
+#[test]
+fn missing_baseline_is_ok_with_a_note() {
+    let cmp = compare(None, &merged(&scenario("s"), 1000), 1.8);
+    assert_eq!(cmp.verdict, Verdict::Ok);
+    assert!(
+        cmp.notes.iter().any(|n| n.contains("no baseline")),
+        "{cmp:?}"
+    );
+}
+
+#[test]
+fn unchanged_point_is_ok_and_regression_is_caught() {
+    let scen = scenario("gate");
+    let base_run = merged(&scen, 1000);
+    let base = Json::parse(&base_run.bench_file_json("ci")).unwrap();
+
+    // Same numbers: every gated row ok.
+    let same = compare(Some(&base), &base_run, 1.8);
+    assert_eq!(same.verdict, Verdict::Ok);
+    assert!(same.rows.iter().any(|r| r.status == "ok"));
+
+    // A synthetic >=2x latency regression must flip the verdict.
+    let slow = compare(Some(&base), &merged(&scen, 2000), 1.8);
+    assert_eq!(slow.verdict, Verdict::Regressed);
+    let row = slow.rows.iter().find(|r| r.status == "REGRESSED").unwrap();
+    assert_eq!(row.metric, "iter_us");
+    assert!((row.ratio - 2.0).abs() < 1e-9, "{row:?}");
+    // The delta table renders the regression for the CI log.
+    let table = render_delta_table("gate", &slow);
+    assert!(table.contains("REGRESSED"), "{table}");
+
+    // An improvement is reported but never fails the gate.
+    let fast = compare(Some(&base), &merged(&scen, 400), 1.8);
+    assert_eq!(fast.verdict, Verdict::Ok);
+    assert!(fast.rows.iter().any(|r| r.status == "improved"));
+}
+
+#[test]
+fn tolerance_zero_disables_gating() {
+    let scen = scenario("tol");
+    let base = Json::parse(&merged(&scen, 1000).bench_file_json("ci")).unwrap();
+    let cmp = compare(Some(&base), &merged(&scen, 10_000), 0.0);
+    assert_eq!(cmp.verdict, Verdict::Ok);
+    assert!(cmp.rows.iter().all(|r| r.status != "REGRESSED"));
+}
+
+#[test]
+fn schema_and_config_mismatches_skip_gating() {
+    let scen = scenario("cfg");
+    let fresh = merged(&scen, 2000);
+
+    let other_schema = Json::parse("{\"schema\":999}").unwrap();
+    let cmp = compare(Some(&other_schema), &fresh, 1.8);
+    assert_eq!(cmp.verdict, Verdict::Ok);
+    assert!(cmp.notes.iter().any(|n| n.contains("schema")), "{cmp:?}");
+
+    // Same schema, different scale: configs are not comparable.
+    let mut other = scenario("cfg");
+    other.scale = 0.5;
+    let base = Json::parse(&merged(&other, 1000).bench_file_json("ci")).unwrap();
+    let cmp = compare(Some(&base), &fresh, 1.8);
+    assert_eq!(cmp.verdict, Verdict::Ok);
+    assert!(cmp.notes.iter().any(|n| n.contains("scale")), "{cmp:?}");
+}
+
+#[test]
+fn metric_absent_from_baseline_is_skipped() {
+    let scen = scenario("new-metric");
+    let base =
+        Json::parse("{\"schema\":1,\"scale\":0.05,\"threads\":2,\"counters\":{},\"hist\":{}}")
+            .unwrap();
+    let cmp = compare(Some(&base), &merged(&scen, 1000), 1.8);
+    assert_eq!(cmp.verdict, Verdict::Ok);
+    let row = cmp.rows.iter().find(|r| r.metric == "iter_us").unwrap();
+    assert_eq!(row.status, "skipped");
+}
+
+#[test]
+fn counters_are_informational_never_gated() {
+    let scen = scenario("counters");
+    let base = Json::parse(&merged(&scen, 1000).bench_file_json("ci")).unwrap();
+    let mut fresh = merged(&scen, 1000);
+    *fresh.counters.get_mut("steals").unwrap() = 4000.0; // 1000x more steals
+    let cmp = compare(Some(&base), &fresh, 1.8);
+    assert_eq!(cmp.verdict, Verdict::Ok);
+    let row = cmp
+        .rows
+        .iter()
+        .find(|r| r.metric == "counter:steals")
+        .unwrap();
+    assert_eq!(row.status, "info");
+}
+
+// ---- suite registry ------------------------------------------------------
+
+#[test]
+fn ci_suite_is_a_subset_of_full_and_large_enough() {
+    let ci = suite("ci");
+    let full = suite("full");
+    // The acceptance bar: >= 5 schema-versioned trajectory files from ci.
+    assert!(ci.len() >= 5, "ci suite too small: {}", ci.len());
+    for s in &ci {
+        assert!(
+            full.iter().any(|f| f.name == s.name),
+            "{} not in full",
+            s.name
+        );
+    }
+    assert!(suite("nope").is_empty());
+    // Every scenario must be invocable through cargo with pinned scale.
+    for s in &full {
+        assert_eq!(s.command[0], "cargo");
+        assert!(
+            s.env.iter().any(|(k, _)| k == "SPDISTAL_SCALE"),
+            "{}",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn render_delta_table_mentions_notes_and_verdict() {
+    let cmp = Comparison {
+        rows: vec![],
+        notes: vec!["no baseline — recording first trajectory point".to_string()],
+        verdict: Verdict::Ok,
+    };
+    let table = render_delta_table("x", &cmp);
+    assert!(table.contains("no baseline"));
+    assert!(table.contains("verdict[x]: ok"));
+}

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::event::{Event, Sym};
 use crate::json::{escape, number, Json};
+use crate::metrics::HistSnapshot;
 use crate::recorder::TraceRecorder;
 
 /// Measured-time process id in the exported trace.
@@ -306,6 +307,10 @@ pub struct TraceStats {
     pub by_name: BTreeMap<String, usize>,
     /// Distinct `(pid, tid)` tracks carrying non-metadata events.
     pub tracks: BTreeSet<(u64, u64)>,
+    /// Duration histograms of complete (`"X"`) events per category, in
+    /// nanoseconds (the trace file stores microseconds; ×1000 here so the
+    /// log2 buckets resolve sub-microsecond spans).
+    pub dur_ns_by_cat: BTreeMap<String, HistSnapshot>,
 }
 
 impl TraceStats {
@@ -359,6 +364,7 @@ pub fn validate_chrome_trace(src: &str) -> Result<TraceStats, String> {
         if ts.is_nan() || ts < 0.0 {
             return Err(format!("event {k}: negative or non-finite ts {ts}"));
         }
+        let mut dur_ns = None;
         if ph == "X" {
             let dur = ev
                 .get("dur")
@@ -367,9 +373,17 @@ pub fn validate_chrome_trace(src: &str) -> Result<TraceStats, String> {
             if dur.is_nan() || dur < 0.0 {
                 return Err(format!("event {k}: negative or non-finite dur {dur}"));
             }
+            dur_ns = Some((dur * 1e3) as u64);
         }
         if let Some(cat) = ev.get("cat").and_then(Json::as_str) {
             *stats.by_cat.entry(cat.to_string()).or_insert(0) += 1;
+            if let Some(ns) = dur_ns {
+                stats
+                    .dur_ns_by_cat
+                    .entry(cat.to_string())
+                    .or_default()
+                    .observe(ns);
+            }
         }
         *stats.by_name.entry(name.to_string()).or_insert(0) += 1;
         stats.tracks.insert((pid as u64, tid as u64));

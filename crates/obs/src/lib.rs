@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, TraceStats};
 pub use event::{Event, Sym, TraceEvent};
-pub use metrics::{HistSummary, MetricsRegistry};
+pub use metrics::{HistSnapshot, HistSummary, MetricsRegistry};
 pub use recorder::TraceRecorder;
 pub use report::RunReport;
 
@@ -336,7 +336,9 @@ impl Trace {
 
     /// A generic single-line JSON run report: every counter value and
     /// every histogram summary recorded so far. Histograms named `*_ns`
-    /// are reported as `*_us` objects in microseconds.
+    /// are reported as `*_us` objects in microseconds; `hist_raw` carries
+    /// each histogram's raw [`HistSnapshot`] (original units, log2
+    /// buckets) so harnesses can merge runs exactly before summarizing.
     pub fn run_report_json(&self, name: &str) -> String {
         let Some(inner) = self.0.as_deref() else {
             return RunReport::new(name).str("trace", "disabled").finish();
@@ -348,17 +350,22 @@ impl Trace {
             .map(|(k, v)| format!("\"{}\":{v}", json::escape(&k)))
             .collect::<Vec<_>>()
             .join(",");
-        let hists = inner
-            .metrics
-            .histogram_summaries()
-            .into_iter()
-            .map(|(k, s)| {
+        let snapshots = inner.metrics.histogram_snapshots();
+        let hists = snapshots
+            .iter()
+            .map(|(k, snap)| {
+                let s = snap.summarize();
                 let (key, s) = match k.strip_suffix("_ns") {
                     Some(base) => (format!("{base}_us"), s.scaled(1e-3)),
-                    None => (k, s),
+                    None => (k.clone(), s),
                 };
                 format!("\"{}\":{}", json::escape(&key), report::hist_json(&s))
             })
+            .collect::<Vec<_>>()
+            .join(",");
+        let raw = snapshots
+            .iter()
+            .map(|(k, snap)| format!("\"{}\":{}", json::escape(k), snap.to_json()))
             .collect::<Vec<_>>()
             .join(",");
         RunReport::new(name)
@@ -366,6 +373,7 @@ impl Trace {
             .int("events_dropped", inner.recorder.dropped())
             .raw("counters", &format!("{{{counters}}}"))
             .raw("hist", &format!("{{{hists}}}"))
+            .raw("hist_raw", &format!("{{{raw}}}"))
             .finish()
     }
 }
@@ -442,6 +450,12 @@ mod tests {
         assert!(span_us.get("p50").unwrap().as_f64().unwrap() > 0.0);
         assert!(span_us.get("p99").unwrap().as_f64().is_some());
         assert!(span_us.get("p95").unwrap().as_f64().is_some());
+        // hist_raw carries the mergeable snapshot under the original name
+        // and units.
+        let raw = v.get("hist_raw").unwrap().get("span_ns").unwrap();
+        let snap = metrics::HistSnapshot::from_json(raw).unwrap();
+        assert_eq!(snap, t.metrics().unwrap().histogram("span_ns").snapshot());
+        assert_eq!(snap.count, 2);
     }
 
     #[test]
