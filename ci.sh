@@ -39,12 +39,16 @@ grep -q "auto-scheduler picked: outer-dim" <<<"$quickstart_default_out"
 
 echo "==> trace smoke: quickstart --skew 0.95 --trace, validated by trace_check"
 # The skewed parallel run must record ≥1 steal and ≥1 auto-decision event
-# (plus spans, launches, cache traffic, and model-timeline events).
+# (plus spans, launches, cache traffic, and model-timeline events), and —
+# since the quickstart drives SpMV over a CSR tensor, a blessed pair in
+# the specialized kernel table (docs/kernels.md) — a kernel-dispatch
+# event naming the monomorphized kernel.
 cargo run --release -q --example quickstart -- --skew 0.95 --trace /tmp/spd_trace.json |
   grep "^run_report_json="
 cargo run --release -q -p spdistal-bench --bin trace_check -- /tmp/spd_trace.json --summary \
   --require steal --require auto-decision \
-  --require span --require launch --require cache --require model
+  --require span --require launch --require cache --require model \
+  --require kernel-dispatch --require kernel-specialized
 
 echo "==> example smoke: load_balance via Program (row vs non-zero)"
 cargo run --release -q --example load_balance | grep "^run_report_json="

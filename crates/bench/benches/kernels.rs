@@ -10,9 +10,10 @@ use spdistal::level_funcs::{
     equal_coord_bounds, nonzero_partition, partition_tensor, universe_partition,
 };
 use spdistal::prelude::Trace;
-use spdistal_bench::{make_inputs, run_spdistal, Kern};
+use spdistal_bench::{make_inputs, run_spdistal, run_spdistal_traced, Kern};
+use spdistal_ir::Format;
 use spdistal_runtime::MachineProfile;
-use spdistal_sparse::{dataset, generate};
+use spdistal_sparse::{convert, dataset, generate};
 
 /// Dataset scale: `SPDISTAL_SCALE` when set (the harness pins it), else
 /// the historical 0.2 micro-benchmark size.
@@ -100,6 +101,17 @@ fn end_to_end(c: &mut Criterion) {
 /// kernel's end-to-end wall latency lands in a `<kern>_e2e_ns` histogram
 /// (and the count of completed kernels in a counter) so the harness can
 /// persist and gate the micro-benchmark trajectory.
+///
+/// Every run is traced, so the specialized-kernel dispatch mix
+/// (`kernel.specialized` / `kernel.fallback`) lands in the same report.
+/// Two extra families cover the specialized layer itself:
+///
+/// * `<kern>_<fmt>_e2e_ns` — the blessed matrix kernels end-to-end with
+///   the driver stored as DCSR and COO (the plain `<kern>_e2e_ns` is the
+///   CSR variant);
+/// * `<kern>_<fmt>_{walk,spec}_ns` — the generic partitioned walker vs
+///   the monomorphized kernel on identical leaf work, the committed
+///   evidence for the specialization speedup.
 fn kernel_report(_c: &mut Criterion) {
     const RUNS: usize = 3;
     let trace = Trace::enabled();
@@ -107,24 +119,141 @@ fn kernel_report(_c: &mut Criterion) {
     let mat = dataset::by_name("nlpkkt240").unwrap().generate(scale());
     let t3 = dataset::by_name("nell-2").unwrap().generate(scale());
     let mut kernels_ok = 0u64;
-    let mut run = |kern: Kern, b: &spdistal_sparse::SpTensor, nonzero: bool| {
-        let inputs = make_inputs(kern, b);
-        let hist = format!("{}_e2e_ns", kern.name().to_lowercase());
-        for _ in 0..RUNS {
-            let t0 = Instant::now();
-            run_spdistal(kern, &inputs, 4, &profile, nonzero).unwrap();
-            trace.observe_ns(&hist, t0.elapsed().as_nanos() as u64);
+    {
+        let mut run = |kern: Kern, b: &spdistal_sparse::SpTensor, nonzero: bool| {
+            let inputs = make_inputs(kern, b);
+            let hist = format!("{}_e2e_ns", kern.name().to_lowercase());
+            for _ in 0..RUNS {
+                let t0 = Instant::now();
+                run_spdistal_traced(kern, &inputs, 4, &profile, nonzero, None, Some(&trace))
+                    .unwrap();
+                trace.observe_ns(&hist, t0.elapsed().as_nanos() as u64);
+            }
+            kernels_ok += 1;
+        };
+        for kern in [Kern::SpMv, Kern::SpMm, Kern::SpAdd3, Kern::Sddmm] {
+            run(kern, &mat, kern == Kern::Sddmm);
         }
-        kernels_ok += 1;
-    };
-    for kern in [Kern::SpMv, Kern::SpMm, Kern::SpAdd3, Kern::Sddmm] {
-        run(kern, &mat, kern == Kern::Sddmm);
+        for kern in [Kern::SpTtv, Kern::SpMttkrp] {
+            run(kern, &t3, false);
+        }
     }
-    for kern in [Kern::SpTtv, Kern::SpMttkrp] {
-        run(kern, &t3, false);
+    // Per-format end-to-end variants of the blessed matrix kernels.
+    let variants = [
+        ("dcsr", convert::to_dcsr(&mat), Format::blocked_dcsr()),
+        ("coo", convert::to_coo_format(&mat), Format::blocked_coo()),
+    ];
+    for (fname, b, fmt) in &variants {
+        for kern in [Kern::SpMv, Kern::SpMm, Kern::Sddmm] {
+            let inputs = make_inputs(kern, b);
+            let hist = format!("{}_{fname}_e2e_ns", kern.name().to_lowercase());
+            for _ in 0..RUNS {
+                let t0 = Instant::now();
+                run_spdistal_traced(
+                    kern,
+                    &inputs,
+                    4,
+                    &profile,
+                    false,
+                    Some(fmt.clone()),
+                    Some(&trace),
+                )
+                .unwrap();
+                trace.observe_ns(&hist, t0.elapsed().as_nanos() as u64);
+            }
+            kernels_ok += 1;
+        }
     }
+    specialization_report(&trace, 5);
     trace.add("kernels_ok", kernels_ok);
     println!("run_report_json={}", trace.run_report_json("kernels"));
+}
+
+/// Identical leaf work through the generic partitioned walker and the
+/// monomorphized kernel, per blessed matrix format: `<kern>_<fmt>_walk_ns`
+/// vs `<kern>_<fmt>_spec_ns` in the persisted report pin the
+/// specialization speedup (the tentpole's >= 2x target for CSR SpMV/SpMM).
+fn specialization_report(trace: &Trace, runs: usize) {
+    use spdistal::kernels::specialized::{self, SpecializedKernel};
+    use spdistal::kernels::{matrix, LeafKernel};
+    use spdistal::OutVals;
+
+    // Passes per timed observation: single passes are tens of
+    // microseconds, small enough for scheduler noise to double them, so
+    // each histogram sample is the mean of `REPS` back-to-back passes.
+    const REPS: u32 = 4;
+    let colors = 8;
+    let base = dataset::by_name("uk-2005").unwrap().generate(scale());
+    let x = generate::dense_vec(base.dims()[1], 1);
+    let cm = generate::dense_buffer(base.dims()[1], spdistal_bench::DENSE_WIDTH, 2);
+    let jdim = spdistal_bench::DENSE_WIDTH;
+    let n = base.dims()[0];
+    let formats = [
+        ("csr", convert::to_csr(&base)),
+        ("dcsr", convert::to_dcsr(&base)),
+        ("coo", convert::to_coo_format(&base)),
+    ];
+    for (fname, b) in &formats {
+        let part = partition_tensor(
+            b,
+            0,
+            universe_partition(b, 0, &equal_coord_bounds(n, colors)),
+        );
+        // One untimed warm-up pass per format so the first timed walk does
+        // not eat all the cold-cache misses.
+        let mut warm = vec![0.0; n];
+        for col in 0..colors {
+            matrix::spmv_color(b, &part, col, None, &x, &OutVals::new(&mut warm));
+        }
+        let sig = specialized::storage_signature(b);
+        let Some(SpecializedKernel::SpMv(spec_mv)) = specialized::lookup(&LeafKernel::SpMv, &sig)
+        else {
+            panic!("SpMv on {fname} must be blessed");
+        };
+        let Some(SpecializedKernel::SpMm(spec_mm)) =
+            specialized::lookup(&LeafKernel::SpMm { jdim }, &sig)
+        else {
+            panic!("SpMm on {fname} must be blessed");
+        };
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                let mut out = vec![0.0; n];
+                for col in 0..colors {
+                    matrix::spmv_color(b, &part, col, None, &x, &OutVals::new(&mut out));
+                }
+            }
+            let per_pass = t0.elapsed().as_nanos() as u64 / u64::from(REPS);
+            trace.observe_ns(&format!("spmv_{fname}_walk_ns"), per_pass);
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                let mut out = vec![0.0; n];
+                for col in 0..colors {
+                    spec_mv(b, &part, col, None, &x, &OutVals::new(&mut out));
+                }
+            }
+            let per_pass = t0.elapsed().as_nanos() as u64 / u64::from(REPS);
+            trace.observe_ns(&format!("spmv_{fname}_spec_ns"), per_pass);
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                let mut out = vec![0.0; n * jdim];
+                for col in 0..colors {
+                    matrix::spmm_color(b, &part, col, None, &cm, jdim, &OutVals::new(&mut out));
+                }
+            }
+            let per_pass = t0.elapsed().as_nanos() as u64 / u64::from(REPS);
+            trace.observe_ns(&format!("spmm_{fname}_walk_ns"), per_pass);
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                let mut out = vec![0.0; n * jdim];
+                for col in 0..colors {
+                    spec_mm(b, &part, col, None, &cm, jdim, &OutVals::new(&mut out));
+                }
+            }
+            let per_pass = t0.elapsed().as_nanos() as u64 / u64::from(REPS);
+            trace.observe_ns(&format!("spmm_{fname}_spec_ns"), per_pass);
+        }
+    }
 }
 
 criterion_group! {

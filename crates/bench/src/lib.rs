@@ -156,24 +156,47 @@ pub fn run_spdistal(
     profile: &MachineProfile,
     nonzero: bool,
 ) -> Result<BaselineResult, String> {
+    run_spdistal_traced(kern, inputs, procs, profile, nonzero, None, None)
+}
+
+/// [`run_spdistal`] with two bench-harness extras: record into `trace`
+/// (kernel-dispatch events and `kernel.specialized` / `kernel.fallback`
+/// counters land in its run report), and override the driver's storage
+/// format with `driver_fmt` (e.g. `Format::blocked_dcsr()`; `inputs.b`
+/// must already be stored in the matching level layout).
+pub fn run_spdistal_traced(
+    kern: Kern,
+    inputs: &Inputs,
+    procs: usize,
+    profile: &MachineProfile,
+    nonzero: bool,
+    driver_fmt: Option<Format>,
+    trace: Option<&Trace>,
+) -> Result<BaselineResult, String> {
     let mut ctx = Context::new(Machine::grid1d(procs, profile.clone()));
+    if let Some(trace) = trace {
+        ctx.set_trace(trace.clone());
+    }
     let b = &inputs.b;
     let unit = match profile.proc.kind {
         ProcKind::Cpu => ParallelUnit::CpuThread,
         ProcKind::Gpu => ParallelUnit::GpuThread,
     };
-    let b_format = match (b.order(), nonzero) {
-        (2, false) => Format::blocked_csr(),
-        (2, true) => Format::nonzero_csr(),
-        (3, false) => Format::blocked_csf3(),
-        (3, true) => Format::nonzero_csf3(),
-        _ => return Err("unsupported order".into()),
+    let b_format = match driver_fmt {
+        Some(fmt) => fmt,
+        None => match (b.order(), nonzero) {
+            (2, false) => Format::blocked_csr(),
+            (2, true) => Format::nonzero_csr(),
+            (3, false) => Format::blocked_csf3(),
+            (3, true) => Format::nonzero_csf3(),
+            _ => return Err("unsupported order".into()),
+        },
     };
     let add = |ctx: &mut Context, name: &str, t: SpTensor, f: Format| {
         ctx.add_tensor(name, t, f).map_err(stringify_err)
     };
 
-    add(&mut ctx, "B", b.clone(), b_format)?;
+    add(&mut ctx, "B", b.clone(), b_format.clone())?;
     let stmt = match kern {
         Kern::SpMv => {
             let n = b.dims()[0];
@@ -250,7 +273,13 @@ pub fn run_spdistal(
             // (Section VI-A): the dense factors are staged and pre-placed to
             // match the computation's partition, not replicated.
             let (n, m) = (b.dims()[0], b.dims()[1]);
-            add(&mut ctx, "A", b.clone(), Format::blocked_csr())?;
+            // A shares B's pattern, so it keeps B's level layout (under
+            // the blocked distribution regardless of B's schedule).
+            let a_fmt = Format::new(
+                b_format.levels.clone(),
+                spdistal_ir::Distribution::new("xy", "x").map_err(|e| format!("{e:?}"))?,
+            );
+            add(&mut ctx, "A", b.clone(), a_fmt)?;
             add(
                 &mut ctx,
                 "C",

@@ -77,6 +77,10 @@ pub struct Plan {
     pub machine_dim: usize,
     /// The tensor driving iteration (the sparse operand).
     pub driver: String,
+    /// `Format::levels_signature()` of the driver's declared format — the
+    /// specialized-kernel-table key ([`crate::kernels::specialized`]),
+    /// derived here at compile time and resolved once per prepared plan.
+    pub driver_levels: String,
     pub inputs: Vec<PlannedInput>,
     pub output: PlannedOutput,
     pub stmt: Assignment,
@@ -213,12 +217,14 @@ pub fn compile_nest(ctx: &Context, nest: &LoopNest) -> Result<Plan, Error> {
         colors,
     )?;
 
+    let driver_levels = ctx.tensor(&driver_name)?.format.levels_signature();
     Ok(Plan {
         name: format!("{}<-{}", stmt.lhs.tensor, driver_name),
         kernel,
         colors,
         machine_dim,
         driver: driver_name,
+        driver_levels,
         inputs,
         output,
         stmt: stmt.clone(),

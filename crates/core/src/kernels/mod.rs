@@ -10,6 +10,7 @@
 //! color's partition.
 
 pub mod matrix;
+pub mod specialized;
 pub mod split;
 pub mod tensor3;
 
@@ -19,7 +20,7 @@ use spdistal_sparse::{Level, LevelFormat, SpTensor};
 
 pub use split::{color_spans, split_level, KernelSpan};
 
-use crate::level_funcs::TensorPartition;
+use crate::level_funcs::{LevelClamps, TensorPartition};
 
 /// The specialized leaf computations (the paper's evaluation kernels,
 /// Section VI-A).
@@ -264,6 +265,51 @@ impl<'a> OutVals<'a> {
         }
     }
 
+    /// `out[start + j] += src[j]` for every `j` — flushing a locally
+    /// accumulated dense row in one pass. Bounds checked once per row.
+    #[inline]
+    pub fn add_from(&self, start: usize, src: &[f64]) {
+        let end = start
+            .checked_add(src.len())
+            .expect("OutVals::add_from range overflow");
+        assert!(
+            end <= self.len,
+            "OutVals::add_from range {start}..{end} out of bounds ({})",
+            self.len
+        );
+        for (j, s) in src.iter().enumerate() {
+            // SAFETY: start + j < end <= len (checked above).
+            unsafe { *self.ptr.add(start + j) += s }
+        }
+    }
+
+    /// Exclusive view of `out[start..start + len]`, for kernels that make
+    /// many updates to one dense output row (SpMM, SpMTTKRP): one bounds
+    /// check and one noalias slice for the whole row instead of a checked
+    /// raw-pointer write per update.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the range's only accessor for the returned
+    /// slice's lifetime. Under plan execution this is the type's own
+    /// contract: tasks whose output requirements overlap are serialized
+    /// by the dependence graph, and concurrent tasks touch disjoint
+    /// elements.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, start: usize, len: usize) -> &mut [f64] {
+        let end = start
+            .checked_add(len)
+            .expect("OutVals::row_mut range overflow");
+        assert!(
+            end <= self.len,
+            "OutVals::row_mut range {start}..{end} out of bounds ({})",
+            self.len
+        );
+        // SAFETY: bounds checked; exclusivity is the caller's contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+
     /// `out[start + j] += v * a[j] * b[j]` for every `j` — the factor-row
     /// update of SpMTTKRP. Bounds checked once per row.
     #[inline]
@@ -313,15 +359,11 @@ pub fn walk_partitioned_span(
     let mut coords = vec![0i64; t.order()];
     let mut entries = vec![0usize; t.order()];
     // Per-level clamps: the color's subsets, with the span's level
-    // intersected once up front (not per parent entry).
-    let spanned: Option<IntervalSet> = span.map(|s| s.clamp_to(part, color));
-    let mut clamps: Vec<&IntervalSet> = (0..t.order())
-        .map(|level| part.entries[level].subset(color))
-        .collect();
-    if let (Some(s), Some(set)) = (span, spanned.as_ref()) {
-        clamps[s.level] = set;
-    }
-    walk_rec(t, &clamps, 0, 0, &mut coords, &mut entries, f);
+    // intersected once up front (not per parent entry) — the same seam the
+    // specialized kernels resolve their bounds through.
+    let clamps = LevelClamps::new(part, color, span);
+    let clamp_refs: Vec<&IntervalSet> = (0..t.order()).map(|l| clamps.level(l)).collect();
+    walk_rec(t, &clamp_refs, 0, 0, &mut coords, &mut entries, f);
 }
 
 #[allow(clippy::too_many_arguments)]

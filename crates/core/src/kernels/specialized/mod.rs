@@ -1,0 +1,286 @@
+//! The specialized kernel layer: monomorphized, span-aware leaf loops for
+//! blessed (kernel, storage format) pairs.
+//!
+//! The paper's pitch is that scheduling is separable from *generated fast
+//! code*. The generic walker ([`crate::kernels::walk_partitioned_span`])
+//! is the library half of that story: it iterates any coordinate tree by
+//! matching on [`Level`] at every node and calling a `dyn FnMut` per
+//! stored entry, allocating a clamp vector per row along the way. This
+//! module is the generated half: one hand-monomorphized loop per blessed
+//! kernel × format combination, operating on the flat `pos`/`crd`/`vals`
+//! slices directly — branch-free inner loops over contiguous position
+//! ranges, with row-block prefetch where the driver level is row-keyed.
+//!
+//! ## The kernel table
+//!
+//! [`lookup`] keys [`TABLE`] by `(kernel name, Format::levels_signature())`
+//! — the storage half of the same [`Format::signature`] the `Program`
+//! plan cache embeds in its keys. Blessed today:
+//!
+//! | kernel     | `{Dense,Compressed}` (CSR) | `{Compressed,Compressed}` (DCSR) | `{Compressed,Singleton}` (COO) |
+//! |------------|---------------------------|----------------------------------|--------------------------------|
+//! | `SpMv`     | ✓                         | ✓                                | ✓                              |
+//! | `SpMm`     | ✓                         | ✓                                | ✓                              |
+//! | `Sddmm`    | ✓                         | ✓                                | ✓                              |
+//!
+//! plus the order-3 driver analogues for `SpMttkrp`: CSF
+//! `{Dense,Compressed,Compressed}`, doubly-compressed CSF
+//! `{Compressed,Compressed,Compressed}`, and COO
+//! `{Compressed,Singleton,Singleton}`. Everything else (`SpTtv`,
+//! `SpAdd3`, `Generic`, unblessed layouts) resolves to the generic walker
+//! and counts a `kernel.fallback`.
+//!
+//! ## Contract
+//!
+//! Every specialized kernel is **bit-identical** to its generic
+//! counterpart (`matrix::*_color` / `tensor3::*_color`) for every
+//! partition, color, and [`KernelSpan`]: it resolves its iteration bounds
+//! through the same [`LevelClamps`] seam, visits stored entries in the
+//! same ascending order, and performs the same per-element floating-point
+//! accumulation sequence. It also returns the same exact integer op count,
+//! so the discrete-event cost model cannot observe which path ran. See
+//! `docs/kernels.md` for how to bless a new pair and the identity bar it
+//! must clear.
+
+mod matrix;
+mod tensor3;
+
+pub use matrix::{
+    sddmm_coo, sddmm_csr, sddmm_dcsr, spmm_coo, spmm_csr, spmm_dcsr, spmv_coo, spmv_csr, spmv_dcsr,
+};
+pub use tensor3::{spmttkrp_coo3, spmttkrp_csf, spmttkrp_dcsf};
+
+use spdistal_sparse::{Level, SpTensor};
+
+use super::{KernelSpan, LeafKernel, OutVals};
+use crate::level_funcs::TensorPartition;
+
+/// A monomorphized leaf implementation, same contract as the generic
+/// `*_color` walkers: compute one `(color, span)` task's contribution and
+/// return the modeled op count.
+pub type SpMvFn =
+    fn(&SpTensor, &TensorPartition, usize, Option<&KernelSpan>, &[f64], &OutVals) -> f64;
+pub type SpMmFn =
+    fn(&SpTensor, &TensorPartition, usize, Option<&KernelSpan>, &[f64], usize, &OutVals) -> f64;
+pub type SddmmFn = fn(
+    &SpTensor,
+    &TensorPartition,
+    usize,
+    Option<&KernelSpan>,
+    &[f64],
+    &[f64],
+    usize,
+    usize,
+    &OutVals,
+) -> f64;
+pub type SpMttkrpFn = fn(
+    &SpTensor,
+    &TensorPartition,
+    usize,
+    Option<&KernelSpan>,
+    &[f64],
+    &[f64],
+    usize,
+    &OutVals,
+) -> f64;
+
+/// One resolved table entry: the kernel-shaped function pointer the
+/// per-span execution path calls directly.
+#[derive(Clone, Copy)]
+pub enum SpecializedKernel {
+    SpMv(SpMvFn),
+    SpMm(SpMmFn),
+    Sddmm(SddmmFn),
+    SpMttkrp(SpMttkrpFn),
+}
+
+/// The blessed (kernel, storage signature) pairs. Keys are
+/// [`kernel_name`] and `Format::levels_signature()`.
+pub const TABLE: &[(&str, &str, SpecializedKernel)] = &[
+    (
+        "SpMv",
+        "{Dense,Compressed}",
+        SpecializedKernel::SpMv(matrix::spmv_csr),
+    ),
+    (
+        "SpMv",
+        "{Compressed,Compressed}",
+        SpecializedKernel::SpMv(matrix::spmv_dcsr),
+    ),
+    (
+        "SpMv",
+        "{Compressed,Singleton}",
+        SpecializedKernel::SpMv(matrix::spmv_coo),
+    ),
+    (
+        "SpMm",
+        "{Dense,Compressed}",
+        SpecializedKernel::SpMm(matrix::spmm_csr),
+    ),
+    (
+        "SpMm",
+        "{Compressed,Compressed}",
+        SpecializedKernel::SpMm(matrix::spmm_dcsr),
+    ),
+    (
+        "SpMm",
+        "{Compressed,Singleton}",
+        SpecializedKernel::SpMm(matrix::spmm_coo),
+    ),
+    (
+        "Sddmm",
+        "{Dense,Compressed}",
+        SpecializedKernel::Sddmm(matrix::sddmm_csr),
+    ),
+    (
+        "Sddmm",
+        "{Compressed,Compressed}",
+        SpecializedKernel::Sddmm(matrix::sddmm_dcsr),
+    ),
+    (
+        "Sddmm",
+        "{Compressed,Singleton}",
+        SpecializedKernel::Sddmm(matrix::sddmm_coo),
+    ),
+    (
+        "SpMttkrp",
+        "{Dense,Compressed,Compressed}",
+        SpecializedKernel::SpMttkrp(tensor3::spmttkrp_csf),
+    ),
+    (
+        "SpMttkrp",
+        "{Compressed,Compressed,Compressed}",
+        SpecializedKernel::SpMttkrp(tensor3::spmttkrp_dcsf),
+    ),
+    (
+        "SpMttkrp",
+        "{Compressed,Singleton,Singleton}",
+        SpecializedKernel::SpMttkrp(tensor3::spmttkrp_coo3),
+    ),
+];
+
+/// The table-key name of a leaf kernel (every variant, blessed or not —
+/// also the `kernel` field of `kernel-dispatch` trace events).
+pub fn kernel_name(kernel: &LeafKernel) -> &'static str {
+    match kernel {
+        LeafKernel::SpMv => "SpMv",
+        LeafKernel::SpMm { .. } => "SpMm",
+        LeafKernel::SpAdd3 => "SpAdd3",
+        LeafKernel::Sddmm { .. } => "Sddmm",
+        LeafKernel::SpTtv => "SpTtv",
+        LeafKernel::SpMttkrp { .. } => "SpMttkrp",
+        LeafKernel::Generic => "Generic",
+    }
+}
+
+/// Look up the specialized implementation of `(kernel, levels_signature)`,
+/// where `levels_signature` is `Format::levels_signature()` of the driver
+/// tensor's declared format. `None`: not blessed, use the generic walker.
+pub fn lookup(kernel: &LeafKernel, levels_signature: &str) -> Option<SpecializedKernel> {
+    let name = kernel_name(kernel);
+    TABLE
+        .iter()
+        .find(|(k, sig, _)| *k == name && *sig == levels_signature)
+        .map(|(_, _, f)| *f)
+}
+
+/// The storage signature of a tensor's *actual* levels, in the same
+/// notation as `Format::levels_signature()`.
+pub fn storage_signature(t: &SpTensor) -> String {
+    let levels: Vec<String> = t.formats().iter().map(|l| format!("{l:?}")).collect();
+    format!("{{{}}}", levels.join(","))
+}
+
+/// Resolve `(kernel, levels_signature)` against the table, verifying that
+/// `driver`'s stored levels really match the declared signature — a
+/// mismatch (a tensor whose data was swapped under its format) must fall
+/// back to the walker rather than read the wrong arrays.
+pub fn resolve(
+    kernel: &LeafKernel,
+    levels_signature: &str,
+    driver: &SpTensor,
+) -> Option<SpecializedKernel> {
+    if storage_signature(driver) != levels_signature {
+        return None;
+    }
+    lookup(kernel, levels_signature)
+}
+
+/// `pos`/`crd` views of a compressed level. Callers are blessed-dispatch
+/// paths: [`resolve`] has already verified the driver's level kinds.
+fn compressed(t: &SpTensor, level: usize) -> (&[spdistal_runtime::Rect1], &[i64]) {
+    match t.level(level) {
+        Level::Compressed { pos, crd } => (pos, crd),
+        _ => unreachable!("blessed dispatch: level {level} is compressed"),
+    }
+}
+
+/// `crd` view of a singleton level (see [`compressed`]).
+fn singleton(t: &SpTensor, level: usize) -> &[i64] {
+    match t.level(level) {
+        Level::Singleton { crd } => crd,
+        _ => unreachable!("blessed dispatch: level {level} is singleton"),
+    }
+}
+
+/// Hint the prefetcher at the head of the next row's column/value data
+/// while the current row streams — row-keyed drivers (CSR, CSF) jump
+/// between discontiguous `crd`/`vals` blocks, so the lookahead hides the
+/// first-line miss of each block. No-op off x86-64.
+#[inline(always)]
+fn prefetch_read<T>(slice: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < slice.len() {
+        // SAFETY: `_mm_prefetch` is a pure cache hint, valid for any
+        // address; the pointer is in-bounds by the check above.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(index) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, index);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_keys_are_unique() {
+        for (i, (k1, s1, _)) in TABLE.iter().enumerate() {
+            for (k2, s2, _) in &TABLE[i + 1..] {
+                assert!(!(k1 == k2 && s1 == s2), "duplicate table key {k1} {s1}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_hits_blessed_and_misses_unblessed() {
+        assert!(lookup(&LeafKernel::SpMv, "{Dense,Compressed}").is_some());
+        assert!(lookup(&LeafKernel::SpMm { jdim: 4 }, "{Compressed,Singleton}").is_some());
+        assert!(lookup(
+            &LeafKernel::SpMttkrp { ldim: 4 },
+            "{Dense,Compressed,Compressed}"
+        )
+        .is_some());
+        // SpTtv / SpAdd3 / Generic are never blessed.
+        assert!(lookup(&LeafKernel::SpTtv, "{Dense,Compressed,Compressed}").is_none());
+        assert!(lookup(&LeafKernel::SpAdd3, "{Dense,Compressed}").is_none());
+        assert!(lookup(&LeafKernel::Generic, "{Dense,Compressed}").is_none());
+        // Unblessed layouts miss.
+        assert!(lookup(&LeafKernel::SpMv, "{Dense,Dense}").is_none());
+    }
+
+    #[test]
+    fn resolve_rejects_signature_data_mismatch() {
+        // A CSR tensor resolved under a COO signature must fall back, not
+        // dispatch a kernel that would read the wrong level arrays.
+        let t = spdistal_sparse::generate::uniform(8, 8, 20, 1);
+        assert_eq!(storage_signature(&t), "{Dense,Compressed}");
+        assert!(resolve(&LeafKernel::SpMv, "{Compressed,Singleton}", &t).is_none());
+        assert!(resolve(&LeafKernel::SpMv, "{Dense,Compressed}", &t).is_some());
+    }
+}

@@ -28,6 +28,12 @@
 //! spans clamp only that level (levels above and below keep the color's
 //! own clamps) and their union reproduces the unsplit walk entry-for-entry.
 //!
+//! Both span consumers — the generic walker
+//! ([`crate::kernels::walk_partitioned_span`]) and the monomorphized
+//! kernels ([`crate::kernels::specialized`]) — apply a span through the
+//! same [`crate::level_funcs::LevelClamps`] seam, so splitting composes
+//! with either dispatch path identically.
+//!
 //! ## How a color is chunked
 //!
 //! Chunks are balanced by *leaf weight* (stored entries under each

@@ -20,6 +20,42 @@
 use spdistal_runtime::{image_rects, preimage_rects, IntervalSet, Partition, Rect1};
 use spdistal_sparse::{Level, SpTensor};
 
+use crate::kernels::split::KernelSpan;
+
+/// Per-level iteration clamps of one `(color, span)` leaf task.
+///
+/// Built once per task: the color's entry subsets, with the span's level
+/// (if any) replaced by the span's subset clamped to the color. Both the
+/// generic partitioned walker ([`crate::kernels::walk_partitioned_span`])
+/// and the monomorphized kernels ([`crate::kernels::specialized`]) resolve
+/// their iteration bounds through this one seam, so the fast path and its
+/// fallback visit identical entries by construction.
+pub struct LevelClamps<'a> {
+    part: &'a TensorPartition,
+    color: usize,
+    span_level: usize,
+    spanned: Option<IntervalSet>,
+}
+
+impl<'a> LevelClamps<'a> {
+    pub fn new(part: &'a TensorPartition, color: usize, span: Option<&KernelSpan>) -> Self {
+        LevelClamps {
+            part,
+            color,
+            span_level: span.map_or(usize::MAX, |s| s.level),
+            spanned: span.map(|s| s.clamp_to(part, color)),
+        }
+    }
+
+    /// The clamp at `level`.
+    pub fn level(&self, level: usize) -> &IntervalSet {
+        match &self.spanned {
+            Some(s) if level == self.span_level => s,
+            _ => self.part.entries[level].subset(self.color),
+        }
+    }
+}
+
 /// A full coordinate-tree partition of one tensor: one entry-space partition
 /// per level, plus the values partition (aligned with the leaf level).
 #[derive(Clone, Debug)]

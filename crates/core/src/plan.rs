@@ -81,7 +81,7 @@ use spdistal_sparse::{dense_vector, CooTensor, Level, SpTensor};
 
 use crate::codegen::{OutKind, Plan, PlannedInput};
 use crate::dist_tensor::{procs_for_color, Context, Error, LevelRegions, VAL_BYTES};
-use crate::kernels::{self, matrix, tensor3, KernelSpan, LeafKernel, OutVals};
+use crate::kernels::{self, matrix, specialized, tensor3, KernelSpan, LeafKernel, OutVals};
 use crate::level_funcs::{entry_counts, TensorPartition};
 
 /// The computed value of a plan's output.
@@ -262,6 +262,10 @@ pub(crate) struct PreparedPlan<'a> {
     /// `span_offsets[point]`: flat slot index of the point's first span.
     span_offsets: Vec<usize>,
     body: Body<'a>,
+    /// The leaf dispatch, resolved once at describe time: blessed
+    /// (kernel, driver-format) pairs run their monomorphized loop via a
+    /// direct call per span; `None` falls back to the generic walker.
+    specialized: Option<specialized::SpecializedKernel>,
     out_len: usize,
     shared: Option<SharedOut>,
     /// Reduction plans: one private partial per color, written in place by
@@ -348,6 +352,20 @@ impl<'a> PreparedPlan<'a> {
             }
         };
 
+        // Leaf dispatch: resolve the (kernel, driver-format) pair against
+        // the specialized kernel table exactly once, so per-span execution
+        // is a direct call (see docs/kernels.md). Unblessed pairs keep the
+        // generic walker; either way the decision is traced and counted.
+        let specialized = specialized::resolve(&plan.kernel, &plan.driver_levels, driver);
+        let trace = ctx.trace();
+        if trace.is_enabled() {
+            trace.kernel_dispatch(
+                specialized::kernel_name(&plan.kernel),
+                &ctx.tensor(&plan.driver)?.format.signature(),
+                specialized.is_some(),
+            );
+        }
+
         // The interpreted fallback is one global evaluation: a single point
         // task claiming every color's requirements.
         let per_color = dag_reqs(ctx, plan, out_region)?;
@@ -414,6 +432,7 @@ impl<'a> PreparedPlan<'a> {
             spans,
             span_offsets,
             body,
+            specialized,
             out_len,
             shared,
             reduce_parts,
@@ -438,31 +457,64 @@ impl<'a> PreparedPlan<'a> {
     pub(crate) fn run_point(&self, point: usize, span: usize) {
         let clamp = self.spans[point][span].as_ref();
         let result = match &self.body {
-            Body::SpMv { c } => self.dense_point(point, |out| {
-                matrix::spmv_color(self.driver, self.part, point, clamp, c, out)
+            Body::SpMv { c } => self.dense_point(point, |out| match self.specialized {
+                Some(specialized::SpecializedKernel::SpMv(f)) => {
+                    f(self.driver, self.part, point, clamp, c, out)
+                }
+                _ => matrix::spmv_color(self.driver, self.part, point, clamp, c, out),
             }),
-            Body::SpMm { c, jdim } => self.dense_point(point, |out| {
-                matrix::spmm_color(self.driver, self.part, point, clamp, c, *jdim, out)
+            Body::SpMm { c, jdim } => self.dense_point(point, |out| match self.specialized {
+                Some(specialized::SpecializedKernel::SpMm(f)) => {
+                    f(self.driver, self.part, point, clamp, c, *jdim, out)
+                }
+                _ => matrix::spmm_color(self.driver, self.part, point, clamp, c, *jdim, out),
             }),
-            Body::Sddmm { c, d, kdim, jdim } => self.dense_point(point, |out| {
-                matrix::sddmm_color(
-                    self.driver,
-                    self.part,
-                    point,
-                    clamp,
-                    c,
-                    d,
-                    *kdim,
-                    *jdim,
-                    out,
-                )
-            }),
+            Body::Sddmm { c, d, kdim, jdim } => {
+                self.dense_point(point, |out| match self.specialized {
+                    Some(specialized::SpecializedKernel::Sddmm(f)) => f(
+                        self.driver,
+                        self.part,
+                        point,
+                        clamp,
+                        c,
+                        d,
+                        *kdim,
+                        *jdim,
+                        out,
+                    ),
+                    _ => matrix::sddmm_color(
+                        self.driver,
+                        self.part,
+                        point,
+                        clamp,
+                        c,
+                        d,
+                        *kdim,
+                        *jdim,
+                        out,
+                    ),
+                })
+            }
             Body::SpTtv { c } => self.dense_point(point, |out| {
                 tensor3::spttv_color(self.driver, self.part, point, clamp, c, out)
             }),
-            Body::SpMttkrp { c, d, ldim } => self.dense_point(point, |out| {
-                tensor3::spmttkrp_color(self.driver, self.part, point, clamp, c, d, *ldim, out)
-            }),
+            Body::SpMttkrp { c, d, ldim } => {
+                self.dense_point(point, |out| match self.specialized {
+                    Some(specialized::SpecializedKernel::SpMttkrp(f)) => {
+                        f(self.driver, self.part, point, clamp, c, d, *ldim, out)
+                    }
+                    _ => tensor3::spmttkrp_color(
+                        self.driver,
+                        self.part,
+                        point,
+                        clamp,
+                        c,
+                        d,
+                        *ldim,
+                        out,
+                    ),
+                })
+            }
             Body::SpAdd3 { c, d } => {
                 let (rows, sym, num) =
                     matrix::spadd3_color(self.driver, c, d, self.part, point, clamp);

@@ -54,6 +54,37 @@ impl Format {
         )
     }
 
+    /// Row-wise distributed DCSR: `{Compressed, Compressed}`, `xy ↦ x M` —
+    /// doubly-compressed rows for hypersparse matrices (most rows empty).
+    pub fn blocked_dcsr() -> Self {
+        Format::new(
+            vec![LevelFormat::Compressed, LevelFormat::Compressed],
+            Distribution::new("xy", "x").unwrap(),
+        )
+    }
+
+    /// Row-wise distributed COO matrix: `{Compressed, Singleton}`, `xy ↦ x M`
+    /// (TACO's COO: level 0 keeps one row coordinate per stored entry).
+    pub fn blocked_coo() -> Self {
+        Format::new(
+            vec![LevelFormat::Compressed, LevelFormat::Singleton],
+            Distribution::new("xy", "x").unwrap(),
+        )
+    }
+
+    /// Slice-wise distributed COO 3-tensor:
+    /// `{Compressed, Singleton, Singleton}`, `xyz ↦ x M`.
+    pub fn blocked_coo3() -> Self {
+        Format::new(
+            vec![
+                LevelFormat::Compressed,
+                LevelFormat::Singleton,
+                LevelFormat::Singleton,
+            ],
+            Distribution::new("xyz", "x").unwrap(),
+        )
+    }
+
     /// Row-wise distributed dense matrix: `{Dense, Dense}`, `xy ↦ x M`.
     pub fn blocked_dense_matrix() -> Self {
         Format::new(
@@ -131,8 +162,25 @@ impl Format {
     /// );
     /// ```
     pub fn signature(&self) -> String {
+        format!("{} {}", self.levels_signature(), self.dist)
+    }
+
+    /// The storage half of [`Format::signature`]: the level formats alone,
+    /// without the distribution. Two formats with equal level signatures
+    /// walk their coordinate trees identically whatever machine they map
+    /// onto — this is the key of the specialized kernel table
+    /// (`spdistal::kernels::specialized`), which monomorphizes on storage
+    /// layout, not placement.
+    ///
+    /// ```
+    /// use spdistal_ir::Format;
+    /// assert_eq!(Format::blocked_csr().levels_signature(), "{Dense,Compressed}");
+    /// assert_eq!(Format::nonzero_csr().levels_signature(), "{Dense,Compressed}");
+    /// assert_eq!(Format::blocked_coo().levels_signature(), "{Compressed,Singleton}");
+    /// ```
+    pub fn levels_signature(&self) -> String {
         let levels: Vec<String> = self.levels.iter().map(|l| format!("{l:?}")).collect();
-        format!("{{{}}} {}", levels.join(","), self.dist)
+        format!("{{{}}}", levels.join(","))
     }
 
     /// Validate the format against a tensor order.
@@ -157,9 +205,12 @@ mod tests {
         Format::replicated_dense_vec().validate(1).unwrap();
         Format::blocked_csr().validate(2).unwrap();
         Format::nonzero_csr().validate(2).unwrap();
+        Format::blocked_dcsr().validate(2).unwrap();
+        Format::blocked_coo().validate(2).unwrap();
         Format::blocked_dense_matrix().validate(2).unwrap();
         Format::blocked_csf3().validate(3).unwrap();
         Format::nonzero_csf3().validate(3).unwrap();
+        Format::blocked_coo3().validate(3).unwrap();
     }
 
     #[test]

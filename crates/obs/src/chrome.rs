@@ -263,6 +263,28 @@ pub fn chrome_trace_json(recorder: &TraceRecorder) -> String {
                     "",
                 );
             }
+            Event::KernelDispatch {
+                kernel,
+                signature,
+                specialized,
+            } => {
+                emit.instant(
+                    if specialized {
+                        "kernel-specialized"
+                    } else {
+                        "kernel-fallback"
+                    },
+                    "kernel-dispatch",
+                    ev.ts_ns,
+                    PID_MEASURED,
+                    ev.lane,
+                    &format!(
+                        "\"kernel\":\"{}\",\"signature\":\"{}\"",
+                        escape(name_of(kernel)),
+                        escape(name_of(signature)),
+                    ),
+                );
+            }
         }
     }
 
@@ -486,6 +508,25 @@ mod tests {
             },
         );
         rec.record_at(65, 0, Event::ModelFence { name: spmv });
+        let sig = rec.intern("{Dense,Compressed} xy -> x");
+        rec.record_at(
+            70,
+            0,
+            Event::KernelDispatch {
+                kernel: spmv,
+                signature: sig,
+                specialized: true,
+            },
+        );
+        rec.record_at(
+            75,
+            0,
+            Event::KernelDispatch {
+                kernel: spmv,
+                signature: sig,
+                specialized: false,
+            },
+        );
         rec
     }
 
@@ -494,7 +535,16 @@ mod tests {
         let rec = sample_recorder();
         let json = chrome_trace_json(&rec);
         let stats = validate_chrome_trace(&json).expect("well-formed");
-        for cat in ["span", "steal", "launch", "cache", "auto", "flush", "model"] {
+        for cat in [
+            "span",
+            "steal",
+            "launch",
+            "cache",
+            "auto",
+            "flush",
+            "model",
+            "kernel-dispatch",
+        ] {
             assert!(stats.count(cat) >= 1, "missing category {cat}: {stats:?}");
         }
         // Spans land on their worker's track, not the control track.
@@ -503,6 +553,8 @@ mod tests {
         assert_eq!(stats.count("plan-cache hit"), 1);
         assert_eq!(stats.count("plan-cache miss"), 1);
         assert_eq!(stats.count("auto-decision"), 1);
+        assert_eq!(stats.count("kernel-specialized"), 1);
+        assert_eq!(stats.count("kernel-fallback"), 1);
     }
 
     #[test]

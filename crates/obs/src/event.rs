@@ -75,6 +75,15 @@ pub enum Event {
     /// A model-ordering barrier: the next launches serialize behind
     /// everything already issued on the simulated timeline.
     ModelFence { name: Sym },
+    /// A prepared plan resolved its leaf dispatch against the specialized
+    /// kernel table: `specialized` says whether the (kernel, driver
+    /// format) pair hit a monomorphized kernel or fell back to the generic
+    /// partitioned walker.
+    KernelDispatch {
+        kernel: Sym,
+        signature: Sym,
+        specialized: bool,
+    },
 }
 
 impl Event {
@@ -90,6 +99,7 @@ impl Event {
             Event::PlanCacheHit { .. } | Event::PlanCacheMiss { .. } => "cache",
             Event::AutoDecision { .. } => "auto",
             Event::ModelLaunch { .. } | Event::ModelFence { .. } => "model",
+            Event::KernelDispatch { .. } => "kernel-dispatch",
         }
     }
 }

@@ -280,6 +280,30 @@ impl Trace {
         }
     }
 
+    /// A prepared plan resolved its leaf dispatch: `specialized` says
+    /// whether the (kernel, driver-format) pair hit the monomorphized
+    /// kernel table or fell back to the generic partitioned walker. Bumps
+    /// `kernel.specialized` / `kernel.fallback`, so run reports carry the
+    /// dispatch mix.
+    pub fn kernel_dispatch(&self, kernel: &str, signature: &str, specialized: bool) {
+        if self.is_enabled() {
+            let (kernel, signature) = (self.intern(kernel), self.intern(signature));
+            self.record(Event::KernelDispatch {
+                kernel,
+                signature,
+                specialized,
+            });
+            self.add(
+                if specialized {
+                    "kernel.specialized"
+                } else {
+                    "kernel.fallback"
+                },
+                1,
+            );
+        }
+    }
+
     pub fn auto_decision(&self, stmt: u32, iteration: u32, choice: &str, reason: &str) {
         if self.is_enabled() {
             let (choice, reason) = (self.intern(choice), self.intern(reason));
