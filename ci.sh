@@ -53,6 +53,42 @@ cargo run --release -q -p spdistal-bench --bin trace_check -- /tmp/spd_trace.jso
 echo "==> example smoke: load_balance via Program (row vs non-zero)"
 cargo run --release -q --example load_balance | grep "^run_report_json="
 
+echo "==> serving smoke: spd-server on a UDS, two tenants share the plan cache"
+# Two tenants submit the same skewed SpMV: tenant t1 must stream at least
+# one auto-decision, tenant t2 must ride t1's compiled plan
+# (plan_cache.miss=0), the merged report must attribute the reuse
+# cross-tenant, and shutdown must drain cleanly (no leaked server) with a
+# trace that trace_check accepts.
+spd_sock="/tmp/spd_ci_$$.sock"
+spd_trace="/tmp/spd_server_trace_$$.json"
+rm -f "$spd_sock" "$spd_trace"
+cargo run --release -q -p spdistal-server --bin spd-server -- \
+  --uds "$spd_sock" --trace "$spd_trace" > /tmp/spd_server_out_$$.log 2>&1 &
+spd_pid=$!
+for _ in $(seq 1 100); do [ -S "$spd_sock" ] && break; sleep 0.1; done
+[ -S "$spd_sock" ] || { echo "spd-server never bound $spd_sock"; exit 1; }
+t1_out="$(cargo run --release -q -p spdistal-client --bin spd-client -- \
+  --uds "$spd_sock" --tenant t1 demo --skew 0.9)"
+echo "$t1_out"
+grep -q "event auto_decision:" <<<"$t1_out"
+t2_out="$(cargo run --release -q -p spdistal-client --bin spd-client -- \
+  --uds "$spd_sock" --tenant t2 demo --skew 0.9)"
+echo "$t2_out"
+grep -q "plan_cache.miss=0" <<<"$t2_out"
+cargo run --release -q -p spdistal-client --bin spd-client -- \
+  --uds "$spd_sock" report | grep -q "plan_cache.hit.cross_tenant"
+cargo run --release -q -p spdistal-client --bin spd-client -- \
+  --uds "$spd_sock" shutdown
+for _ in $(seq 1 100); do kill -0 "$spd_pid" 2>/dev/null || break; sleep 0.1; done
+if kill -0 "$spd_pid" 2>/dev/null; then
+  echo "spd-server leaked (pid $spd_pid) after shutdown"; kill "$spd_pid"; exit 1
+fi
+wait "$spd_pid"
+[ ! -e "$spd_sock" ] || { echo "spd-server left its socket behind"; exit 1; }
+cargo run --release -q -p spdistal-bench --bin trace_check -- "$spd_trace" \
+  --require cache --require auto-decision
+rm -f "$spd_trace" /tmp/spd_server_out_$$.log
+
 echo "==> spd-harness: ci bench suite, merged reports, regression gate"
 # Runs every ci-suite scenario as release child processes (fixed seeds,
 # pinned scale/threads), merges repeats into BENCH_<scenario>.json, and

@@ -1,0 +1,197 @@
+//! `spd-client` — drive an `spd-server` from the shell.
+//!
+//! ```text
+//! spd-client (--tcp ADDR | --uds PATH) [--tenant NAME] demo [--skew A] [--iters N]
+//! spd-client (--tcp ADDR | --uds PATH) report
+//! spd-client (--tcp ADDR | --uds PATH) shutdown
+//! ```
+//!
+//! `demo` registers the quickstart SpMV tensors (deterministic seeds, so
+//! every tenant registers bit-identical data), submits the auto-scheduled
+//! `a(i) = B(i,j) * c(j)`, prints each streamed event, checks the result
+//! against the serial oracle, and ends with a grep-friendly
+//! `done: ... plan_cache.hit=H plan_cache.miss=M` line — a second
+//! tenant's `plan_cache.miss=0` is the shared-cache smoke signal.
+
+use std::process::ExitCode;
+
+use spdistal_client::{Client, Event};
+use spdistal_sparse::{dense_vector, generate, reference};
+
+struct Args {
+    tcp: Option<String>,
+    uds: Option<String>,
+    tenant: Option<String>,
+    command: String,
+    skew: Option<f64>,
+    iters: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spd-client (--tcp ADDR | --uds PATH) [--tenant NAME] \
+         (demo [--skew A] [--iters N] | report | shutdown)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        tcp: None,
+        uds: None,
+        tenant: None,
+        command: String::new(),
+        skew: None,
+        iters: 2,
+    };
+    let mut k = 0;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--tcp" => {
+                args.tcp = Some(argv.get(k + 1).ok_or_else(usage)?.clone());
+                k += 1;
+            }
+            "--uds" => {
+                args.uds = Some(argv.get(k + 1).ok_or_else(usage)?.clone());
+                k += 1;
+            }
+            "--tenant" => {
+                args.tenant = Some(argv.get(k + 1).ok_or_else(usage)?.clone());
+                k += 1;
+            }
+            "--skew" => {
+                let alpha = argv
+                    .get(k + 1)
+                    .and_then(|a| a.parse::<f64>().ok())
+                    .ok_or_else(usage)?;
+                args.skew = Some(alpha);
+                k += 1;
+            }
+            "--iters" => {
+                args.iters = argv
+                    .get(k + 1)
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .ok_or_else(usage)?;
+                k += 1;
+            }
+            cmd if !cmd.starts_with('-') && args.command.is_empty() => {
+                args.command = cmd.to_string();
+            }
+            _ => return Err(usage()),
+        }
+        k += 1;
+    }
+    if args.command.is_empty() || (args.tcp.is_none() == args.uds.is_none()) {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn connect(args: &Args) -> Result<Client, spdistal_client::ClientError> {
+    match (&args.tcp, &args.uds) {
+        (Some(addr), _) => Client::connect_tcp(addr),
+        (_, Some(path)) => Client::connect_uds(path),
+        _ => unreachable!("parse_args enforces exactly one endpoint"),
+    }
+}
+
+fn print_event(ev: &Event) {
+    match ev {
+        Event::AutoDecision {
+            stmt,
+            iteration,
+            choice,
+            reason,
+        } => println!("event auto_decision: stmt {stmt} iter {iteration}: {choice} ({reason})"),
+        Event::FlushReport {
+            iteration,
+            batches,
+            tasks,
+            spans,
+            steals,
+            wall_seconds,
+        } => println!(
+            "event flush_report: iter {iteration} batches={batches} tasks={tasks} \
+             spans={spans} steals={steals} wall={wall_seconds:.6}s"
+        ),
+        Event::KernelDispatch {
+            specialized,
+            fallback,
+        } => println!("event kernel_dispatch: specialized={specialized} fallback={fallback}"),
+        Event::Result { stmt, vals } => {
+            println!("event result: stmt {stmt} ({} values)", vals.len())
+        }
+        _ => {}
+    }
+}
+
+fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let b_data = match args.skew {
+        Some(alpha) => generate::rmat_clustered(10, 15_000, alpha, 42),
+        None => generate::banded(2_000, 11, 42),
+    };
+    let (n, m) = (b_data.dims()[0], b_data.dims()[1]);
+    let c_data = generate::dense_vec(m, 7);
+
+    let mut client = connect(args)?;
+    let tenant = args.tenant.clone().unwrap_or_else(|| "cli".to_string());
+    client.hello(&tenant)?;
+    client.register_tensor("a", "blocked_dense_vec", &dense_vector(vec![0.0; n]))?;
+    client.register_tensor("B", "blocked_csr", &b_data)?;
+    client.register_tensor("c", "replicated_dense_vec", &dense_vector(c_data.clone()))?;
+
+    let outcome = client.submit(
+        &[("a(i) = B(i,j) * c(j)", "auto")],
+        args.iters,
+        true,
+        print_event,
+    )?;
+
+    let expect = reference::spmv(&b_data, &c_data);
+    let got = &outcome
+        .results
+        .first()
+        .ok_or("server streamed no result")?
+        .1;
+    if !reference::approx_eq(got, &expect, 1e-12) {
+        return Err("server result disagrees with the serial oracle".into());
+    }
+    println!("result matches the serial oracle ({n} values)");
+    println!(
+        "done: tenant={tenant} iterations={} plan_cache.hit={} plan_cache.miss={} wall={:.6}s",
+        outcome.iterations, outcome.cache_hits, outcome.compiles, outcome.wall_seconds
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        match args.command.as_str() {
+            "demo" => demo(&args),
+            "report" => {
+                let mut client = connect(&args)?;
+                println!("run_report_json={}", client.report()?);
+                Ok(())
+            }
+            "shutdown" => {
+                let mut client = connect(&args)?;
+                client.shutdown_server()?;
+                println!("shutdown requested");
+                Ok(())
+            }
+            other => Err(format!("unknown command '{other}'").into()),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("spd-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

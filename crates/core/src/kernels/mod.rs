@@ -185,9 +185,20 @@ pub struct OutVals<'a> {
     _life: std::marker::PhantomData<&'a mut [f64]>,
 }
 
-// SAFETY: see the type docs — element-disjoint concurrent access is
-// enforced by the launch's dependence graph.
+// SAFETY (`Send`): `OutVals` is a raw view over `f64`s owned elsewhere;
+// `f64` is `Send`, and moving the view to another thread moves only the
+// pointer + length — validity for `'a` is pinned by the `PhantomData`
+// borrow, so the referent cannot be freed or reallocated while any view
+// (on any thread) is live.
 unsafe impl Send for OutVals<'_> {}
+// SAFETY (`Sync`): sharing `&OutVals` across threads shares write access
+// to the buffer, which is sound only under the aliasing invariant stated
+// in the type docs: (1) while any view is live, no `&`/`&mut [f64]`
+// reference to the viewed elements exists (all access goes through raw
+// pointers), and (2) two tasks holding views over the same allocation
+// never access the same element concurrently — plan execution's task
+// graph serializes overlapping, non-commuting output requirements.
+// Callers constructing views via `from_raw` inherit both obligations.
 unsafe impl Sync for OutVals<'_> {}
 
 impl<'a> OutVals<'a> {

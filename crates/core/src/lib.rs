@@ -34,18 +34,22 @@
 //! assert!(result.time > 0.0);
 //! ```
 
+pub mod admission;
 pub mod api;
 pub mod codegen;
 pub mod dist_tensor;
+pub mod engine;
 pub mod kernels;
 pub mod level_funcs;
 pub mod plan;
 pub mod program;
 pub mod session;
 
+pub use admission::{AdmissionError, AdmissionQueue};
 pub use api::{access, assign, schedule_nonzero, schedule_outer_dim};
 pub use codegen::{OutKind, Plan, PlannedInput, PlannedOutput};
 pub use dist_tensor::{Context, DistTensor, Error};
+pub use engine::{Engine, PlanCache, PlanKey};
 pub use kernels::{LeafKernel, OutVals};
 pub use level_funcs::TensorPartition;
 pub use plan::{ExecResult, OutputValue};
@@ -61,8 +65,10 @@ pub use spdistal_obs::Trace;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::admission::{AdmissionError, AdmissionQueue};
     pub use crate::api::{access, assign, schedule_nonzero, schedule_outer_dim};
     pub use crate::dist_tensor::{Context, Error};
+    pub use crate::engine::{Engine, PlanCache, PlanKey};
     pub use crate::plan::{ExecResult, OutputValue};
     pub use crate::program::{
         AutoDecision, CompiledProgram, Program, ProgramReport, ScheduleSpec, StmtReport,

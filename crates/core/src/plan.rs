@@ -220,8 +220,19 @@ struct SharedOut {
     len: usize,
 }
 
-// SAFETY: access discipline enforced by the task graph (see above).
+// SAFETY (`Sync`): `&SharedOut` only exposes writes through the
+// element-disjoint [`OutVals`] discipline — `ptr` is derived once from
+// `buf` at construction and `buf` is never reborrowed (no `&mut` alias is
+// ever created while writer views are live), and the launch's dependence
+// graph guarantees that two concurrently running tasks never touch the
+// same element (overlapping, non-commuting output requirements are
+// serialized into different batches).
 unsafe impl Sync for SharedOut {}
+// SAFETY (`Send`): moving `SharedOut` moves `buf` together with the
+// `ptr`/`len` derived from it; `Vec<f64>`'s heap allocation is stable
+// across moves, so the pointer stays valid on the receiving thread, and
+// `f64` has no thread affinity. Sends only happen at flush boundaries,
+// when no writer views are outstanding.
 unsafe impl Send for SharedOut {}
 
 impl SharedOut {

@@ -67,7 +67,7 @@
 //! pattern changes between iterations, call
 //! [`CompiledProgram::clear_plan_cache`].
 
-use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use spdistal_ir::{parse_tin, tdn, Assignment, Format, ParallelUnit, Schedule, VarCtx};
@@ -78,6 +78,7 @@ use spdistal_sparse::SpTensor;
 use crate::api::{schedule_nonzero, schedule_outer_dim};
 use crate::codegen::Plan;
 use crate::dist_tensor::{Context, Error};
+use crate::engine::{PlanCache, PlanKey};
 use crate::kernels;
 use crate::level_funcs::{equal_coord_bounds, partition_tensor, universe_partition};
 use crate::plan::{ExecResult, OutputValue};
@@ -251,6 +252,8 @@ pub struct Program {
     split: SplitPolicy,
     pipelined: bool,
     trace: Option<Trace>,
+    cache: Option<Arc<PlanCache>>,
+    tenant: Option<String>,
     tensors: Vec<(String, SpTensor, Format)>,
     dists: Vec<String>,
     stmts: Vec<StmtDecl>,
@@ -266,11 +269,31 @@ impl Program {
             split: SplitPolicy::Auto,
             pipelined: true,
             trace: None,
+            cache: None,
+            tenant: None,
             tensors: Vec::new(),
             dists: Vec::new(),
             stmts: Vec::new(),
             errors: Vec::new(),
         }
+    }
+
+    /// Share a [`PlanCache`] with other programs: every `(statement,
+    /// schedule, formats)` key any sharer compiled is a hit for all of
+    /// them. Defaults to a fresh private cache; an
+    /// [`Engine`](crate::Engine) wires its shared cache through here.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Label this program's cache traffic with a tenant name: lookups
+    /// count under `tenant.<name>.plan_cache.{hit,miss}` on the trace, and
+    /// plans it compiles are attributed to it for cross-tenant hit
+    /// accounting (see [`PlanCache`]).
+    pub fn tenant(mut self, name: &str) -> Self {
+        self.tenant = Some(name.to_string());
+        self
     }
 
     /// Attach a structured trace: every flush, launch, span, steal,
@@ -419,7 +442,8 @@ impl Program {
             ctx,
             stmts,
             pipelined: self.pipelined,
-            cache: HashMap::new(),
+            cache: self.cache.unwrap_or_else(PlanCache::shared),
+            tenant: self.tenant,
             report: ProgramReport::default(),
             last_results: vec![None; n],
         })
@@ -466,7 +490,8 @@ pub struct CompiledProgram {
     ctx: Context,
     stmts: Vec<ProgramStmt>,
     pipelined: bool,
-    cache: HashMap<String, Plan>,
+    cache: Arc<PlanCache>,
+    tenant: Option<String>,
     report: ProgramReport,
     last_results: Vec<Option<ExecResult>>,
 }
@@ -563,9 +588,24 @@ impl CompiledProgram {
 
     /// Drop every cached plan (they recompile on the next run). Needed
     /// only when an *input* tensor's sparsity pattern changed under a
-    /// cached plan — see the module docs' caching caveat.
+    /// cached plan — see the module docs' caching caveat. On a cache
+    /// shared via [`Program::plan_cache`] / [`Engine`](crate::Engine)
+    /// this affects every sharer.
     pub fn clear_plan_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// The plan cache this program admits lookups through — private by
+    /// default, shared when built via [`Program::plan_cache`] or an
+    /// [`Engine`](crate::Engine).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The tenant label attributed to this program's cache traffic, if
+    /// any (see [`Program::tenant`]).
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// Execute the whole program once. Statements flow through one
@@ -867,7 +907,7 @@ impl CompiledProgram {
             }
             let plan_imbalance = self
                 .cache
-                .get(&self.cache_key(k))
+                .peek(&self.cache_key(k))
                 .map(|p| p.inputs[0].part.vals.imbalance())
                 .unwrap_or(1.0);
             let (task_skew, steals) = self.last_results[k]
@@ -923,7 +963,7 @@ impl CompiledProgram {
 
     /// The cache key of statement `k`'s current selection: statement text,
     /// schedule text, and the format signature of every referenced tensor.
-    fn cache_key(&self, k: usize) -> String {
+    fn cache_key(&self, k: usize) -> PlanKey {
         let ps = &self.stmts[k];
         let schedule = ps
             .chosen
@@ -939,20 +979,29 @@ impl CompiledProgram {
                 Err(_) => format!("{name}=<unknown>"),
             })
             .collect();
-        format!("{} | {} | {}", ps.stmt, schedule, formats.join("; "))
+        PlanKey::new(ps.stmt.to_string(), schedule, formats.join("; "))
+    }
+
+    /// [`PlanCache::lookup`] with this program's trace and tenant label,
+    /// folding a hit into the program report.
+    fn lookup_plan(&mut self, key: &PlanKey) -> Option<Arc<Plan>> {
+        let plan = self
+            .cache
+            .lookup(key, self.ctx.trace(), self.tenant.as_deref());
+        if plan.is_some() {
+            self.report.cache_hits += 1;
+        }
+        plan
     }
 
     /// Compile statement `k`'s plan unless its key is already cached.
     /// An `Auto` non-zero selection that fails to compile falls back to
     /// the outer-dimension schedule (recorded as a decision).
-    fn ensure_plan(&mut self, k: usize) -> Result<String, Error> {
+    fn ensure_plan(&mut self, k: usize) -> Result<Arc<Plan>, Error> {
         let mut key = self.cache_key(k);
-        if self.cache.contains_key(&key) {
-            self.report.cache_hits += 1;
-            self.ctx.trace().plan_cache_hit(&key);
-            return Ok(key);
+        if let Some(plan) = self.lookup_plan(&key) {
+            return Ok(plan);
         }
-        self.ctx.trace().plan_cache_miss(&key);
         let chosen = self.stmts[k]
             .chosen
             .as_ref()
@@ -979,37 +1028,32 @@ impl CompiledProgram {
                 self.stmts[k].chosen = Some(chosen);
                 self.stmts[k].tuned = true;
                 key = self.cache_key(k);
-                if self.cache.contains_key(&key) {
-                    self.report.cache_hits += 1;
-                    self.ctx.trace().plan_cache_hit(&key);
-                    return Ok(key);
+                if let Some(plan) = self.lookup_plan(&key) {
+                    return Ok(plan);
                 }
-                self.ctx.trace().plan_cache_miss(&key);
                 let chosen = self.stmts[k].chosen.as_ref().unwrap();
                 self.ctx.compile(&self.stmts[k].stmt, &chosen.schedule)?
             }
             Err(e) => return Err(e),
         };
         self.report.compiles += 1;
-        self.cache.insert(key.clone(), plan);
-        Ok(key)
+        Ok(self.cache.insert(key, plan, self.tenant.as_deref()))
     }
 
     /// One whole-program pass through a deferred session.
     fn execute_once(&mut self) -> Result<(), Error> {
-        let keys: Vec<String> = (0..self.stmts.len())
+        let plans: Vec<Arc<Plan>> = (0..self.stmts.len())
             .map(|k| self.ensure_plan(k))
             .collect::<Result<_, _>>()?;
 
         let mut flushes: Vec<FlushReport> = Vec::new();
-        let mut results: Vec<Option<ExecResult>> = vec![None; keys.len()];
+        let mut results: Vec<Option<ExecResult>> = vec![None; plans.len()];
         {
-            let cache = &self.cache;
             let pipelined = self.pipelined;
             let mut session = Session::new(&mut self.ctx);
-            let mut futures = Vec::with_capacity(keys.len());
-            for key in &keys {
-                futures.push(session.submit(&cache[key]));
+            let mut futures = Vec::with_capacity(plans.len());
+            for plan in &plans {
+                futures.push(session.submit(plan));
                 if !pipelined {
                     flushes.push(session.flush()?);
                 }

@@ -265,18 +265,46 @@ impl Trace {
     }
 
     pub fn plan_cache_hit(&self, key: &str) {
-        if self.is_enabled() {
-            let key = self.intern(key);
-            self.record(Event::PlanCacheHit { key });
-            self.add("plan_cache_hits", 1);
-        }
+        self.plan_cache_lookup(key, None, true, false);
     }
 
     pub fn plan_cache_miss(&self, key: &str) {
-        if self.is_enabled() {
-            let key = self.intern(key);
-            self.record(Event::PlanCacheMiss { key });
+        self.plan_cache_lookup(key, None, false, false);
+    }
+
+    /// One plan-cache lookup with tenant attribution: records the legacy
+    /// `PlanCacheHit`/`PlanCacheMiss` event and `plan_cache_hits`/
+    /// `plan_cache_misses` counters (so existing traces are unchanged),
+    /// plus the namespaced `plan_cache.{hit,miss}` counters, a per-tenant
+    /// `tenant.<name>.plan_cache.{hit,miss}` counter when a tenant label is
+    /// given, and `plan_cache.hit.cross_tenant` when the hit reused a plan
+    /// some *other* tenant compiled.
+    pub fn plan_cache_lookup(
+        &self,
+        key: &str,
+        tenant: Option<&str>,
+        hit: bool,
+        cross_tenant: bool,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let sym = self.intern(key);
+        if hit {
+            self.record(Event::PlanCacheHit { key: sym });
+            self.add("plan_cache_hits", 1);
+            self.add("plan_cache.hit", 1);
+            if cross_tenant {
+                self.add("plan_cache.hit.cross_tenant", 1);
+            }
+        } else {
+            self.record(Event::PlanCacheMiss { key: sym });
             self.add("plan_cache_misses", 1);
+            self.add("plan_cache.miss", 1);
+        }
+        if let Some(t) = tenant {
+            let outcome = if hit { "hit" } else { "miss" };
+            self.add(&format!("tenant.{t}.plan_cache.{outcome}"), 1);
         }
     }
 
@@ -480,6 +508,27 @@ mod tests {
         let snap = metrics::HistSnapshot::from_json(raw).unwrap();
         assert_eq!(snap, t.metrics().unwrap().histogram("span_ns").snapshot());
         assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn plan_cache_lookup_attributes_tenants_and_cross_tenant_hits() {
+        let t = Trace::enabled();
+        t.plan_cache_lookup("k", Some("t1"), false, false);
+        t.plan_cache_lookup("k", Some("t2"), true, true);
+        t.plan_cache_lookup("k", Some("t1"), true, false);
+        t.plan_cache_hit("k"); // legacy helper: untenanted hit
+        let m = t.metrics().unwrap();
+        // Legacy counters keep counting every lookup.
+        assert_eq!(m.counter("plan_cache_hits").get(), 3);
+        assert_eq!(m.counter("plan_cache_misses").get(), 1);
+        // Namespaced totals plus cross-tenant attribution.
+        assert_eq!(m.counter("plan_cache.hit").get(), 3);
+        assert_eq!(m.counter("plan_cache.miss").get(), 1);
+        assert_eq!(m.counter("plan_cache.hit.cross_tenant").get(), 1);
+        // Per-tenant namespacing.
+        assert_eq!(m.counter("tenant.t1.plan_cache.miss").get(), 1);
+        assert_eq!(m.counter("tenant.t1.plan_cache.hit").get(), 1);
+        assert_eq!(m.counter("tenant.t2.plan_cache.hit").get(), 1);
     }
 
     #[test]

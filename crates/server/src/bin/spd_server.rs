@@ -1,0 +1,112 @@
+//! `spd-server` — the multi-tenant tensor service daemon.
+//!
+//! ```text
+//! spd-server (--tcp ADDR | --uds PATH) [--pieces N] [--capacity N]
+//!            [--workers N] [--parallel] [--trace FILE]
+//! ```
+//!
+//! Serves until SIGTERM/ctrl-c or a client `shutdown` request, then
+//! drains in-flight flushes, prints the merged run report, and (for a
+//! UDS endpoint) unlinks the socket file.
+
+use std::process::ExitCode;
+
+use spdistal::prelude::ExecMode;
+use spdistal_server::{signal, Server, ServerConfig};
+
+struct Args {
+    tcp: Option<String>,
+    uds: Option<String>,
+    config: ServerConfig,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spd-server (--tcp ADDR | --uds PATH) [--pieces N] [--capacity N] \
+         [--workers N] [--parallel] [--trace FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        tcp: None,
+        uds: None,
+        config: ServerConfig::default(),
+    };
+    let mut k = 0;
+    while k < argv.len() {
+        let value = |k: usize| argv.get(k + 1).cloned().ok_or_else(usage);
+        match argv[k].as_str() {
+            "--tcp" => {
+                args.tcp = Some(value(k)?);
+                k += 1;
+            }
+            "--uds" => {
+                args.uds = Some(value(k)?);
+                k += 1;
+            }
+            "--pieces" => {
+                args.config.pieces = value(k)?.parse().map_err(|_| usage())?;
+                k += 1;
+            }
+            "--capacity" => {
+                args.config.capacity = value(k)?.parse().map_err(|_| usage())?;
+                k += 1;
+            }
+            "--workers" => {
+                args.config.workers = value(k)?.parse().map_err(|_| usage())?;
+                k += 1;
+            }
+            "--parallel" => args.config.exec_mode = ExecMode::Parallel(0),
+            "--trace" => {
+                args.config.trace_path = Some(value(k)?);
+                k += 1;
+            }
+            _ => return Err(usage()),
+        }
+        k += 1;
+    }
+    if args.tcp.is_none() == args.uds.is_none() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    signal::install();
+    let bound = match (&args.tcp, &args.uds) {
+        (Some(addr), _) => Server::bind_tcp(addr, args.config.clone()),
+        (_, Some(path)) => Server::bind_uds(path, args.config.clone()),
+        _ => unreachable!("parse_args enforces exactly one endpoint"),
+    };
+    let server = match bound {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("spd-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match (&args.tcp, server.local_addr()) {
+        (Some(_), Some(addr)) => println!("spd-server: listening on tcp {addr}"),
+        _ => println!(
+            "spd-server: listening on unix socket {}",
+            args.uds.as_deref().unwrap_or("?")
+        ),
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("spd-server: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("spd-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # spdistal-server — the multi-tenant tensor service
+//!
+//! A long-lived daemon over the shared [`Engine`](spdistal::Engine) core:
+//! clients register tensors and submit Programs as length-prefixed JSON
+//! frames over TCP or a Unix domain socket ([`spdistal_client`] is the
+//! matching codec + client), submissions are admitted through a bounded,
+//! tenant-fair [`AdmissionQueue`](spdistal::AdmissionQueue), and every
+//! tenant shares one plan cache — the second tenant to submit an
+//! already-compiled `(statement, schedule, format signature)` hits the
+//! plan another tenant compiled, observable as `plan_cache.hit` /
+//! `plan_cache.hit.cross_tenant` in the merged run report.
+//!
+//! See `docs/server.md` for the wire protocol, tenant lifecycle, and
+//! shutdown semantics; `spd-server --help` output is in the
+//! [`bin` source](../src/bin/spd_server.rs).
+
+pub mod server;
+pub mod signal;
+
+pub use server::{ServeError, Server, ServerConfig, ShutdownHandle};
