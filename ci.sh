@@ -53,6 +53,17 @@ cargo run --release -q -p spdistal-bench --bin trace_check -- /tmp/spd_trace.jso
 echo "==> example smoke: load_balance via Program (row vs non-zero)"
 cargo run --release -q --example load_balance | grep "^run_report_json="
 
+echo "==> streaming smoke: delta batches drive incremental recompute"
+# The streaming example feeds ~1%-of-nnz delta batches through
+# update_batch + run_incremental and bit-compares against a fresh full
+# program; the trace must show at least one incremental run that skipped
+# spans (the fast path actually engaged, not 15 silent fallbacks).
+cargo run --release -q --example streaming -- --trace /tmp/spd_stream_trace.json |
+  grep "^run_report_json="
+cargo run --release -q -p spdistal-bench --bin trace_check -- /tmp/spd_stream_trace.json \
+  --require incremental --require incremental-skip
+rm -f /tmp/spd_stream_trace.json
+
 echo "==> serving smoke: spd-server on a UDS, two tenants share the plan cache"
 # Two tenants submit the same skewed SpMV: tenant t1 must stream at least
 # one auto-decision, tenant t2 must ride t1's compiled plan

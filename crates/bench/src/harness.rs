@@ -131,6 +131,14 @@ pub fn all_scenarios() -> Vec<Scenario> {
             scale: CI_SCALE,
         },
         Scenario {
+            name: "streaming_exec",
+            command: cargo_bench("streaming_exec"),
+            env: pin(CI_SCALE, 0),
+            suites: &["ci", "full"],
+            threads: 0,
+            scale: CI_SCALE,
+        },
+        Scenario {
             name: "model_pipeline",
             command: cargo_bench("model_pipeline"),
             env: pin(CI_SCALE, CI_THREADS),

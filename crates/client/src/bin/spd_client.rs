@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! spd-client (--tcp ADDR | --uds PATH) [--tenant NAME] demo [--skew A] [--iters N]
+//! spd-client (--tcp ADDR | --uds PATH) [--tenant NAME] stream [--batches N]
 //! spd-client (--tcp ADDR | --uds PATH) report
 //! spd-client (--tcp ADDR | --uds PATH) shutdown
 //! ```
@@ -12,6 +13,13 @@
 //! against the serial oracle, and ends with a grep-friendly
 //! `done: ... plan_cache.hit=H plan_cache.miss=M` line — a second
 //! tenant's `plan_cache.miss=0` is the shared-cache smoke signal.
+//!
+//! `stream` exercises the streaming path: it registers a clustered R-MAT
+//! SpMV, queues `--batches` hub-biased delta batches via `update_batch`,
+//! submits with `run_incremental`, prints each streamed
+//! `incremental_report` (dirty rows, spans re-executed vs skipped), and
+//! checks the final result against the serial oracle over the locally
+//! mutated matrix.
 
 use std::process::ExitCode;
 
@@ -25,12 +33,13 @@ struct Args {
     command: String,
     skew: Option<f64>,
     iters: usize,
+    batches: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spd-client (--tcp ADDR | --uds PATH) [--tenant NAME] \
-         (demo [--skew A] [--iters N] | report | shutdown)"
+         (demo [--skew A] [--iters N] | stream [--batches N] | report | shutdown)"
     );
     ExitCode::from(2)
 }
@@ -44,6 +53,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         command: String::new(),
         skew: None,
         iters: 2,
+        batches: 4,
     };
     let mut k = 0;
     while k < argv.len() {
@@ -70,6 +80,13 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--iters" => {
                 args.iters = argv
+                    .get(k + 1)
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .ok_or_else(usage)?;
+                k += 1;
+            }
+            "--batches" => {
+                args.batches = argv
                     .get(k + 1)
                     .and_then(|n| n.parse::<usize>().ok())
                     .ok_or_else(usage)?;
@@ -119,6 +136,19 @@ fn print_event(ev: &Event) {
             specialized,
             fallback,
         } => println!("event kernel_dispatch: specialized={specialized} fallback={fallback}"),
+        Event::IncrementalReport {
+            iteration,
+            stmt,
+            rows_dirty,
+            spans_reexecuted,
+            spans_skipped,
+            fallback,
+        } => println!(
+            "event incremental_report: batch {iteration} stmt {stmt} rows_dirty={rows_dirty} \
+             spans_reexecuted={spans_reexecuted} spans_skipped={spans_skipped} \
+             mode={}",
+            if *fallback { "full" } else { "incremental" }
+        ),
         Event::Result { stmt, vals } => {
             println!("event result: stmt {stmt} ({} values)", vals.len())
         }
@@ -165,6 +195,56 @@ fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn stream(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let b_data = generate::rmat_clustered(9, 3_000, 0.7, 42);
+    let (n, m) = (b_data.dims()[0], b_data.dims()[1]);
+    let c_data = generate::dense_vec(m, 7);
+    // Hub-biased value overwrites, ~1% of nnz per batch — the same
+    // generator the streaming example uses.
+    let batch_nnz = (b_data.nnz() / 100).max(1);
+    let stream = generate::delta_stream(&b_data, 0.9, args.batches, batch_nnz, 1);
+
+    let mut client = connect(args)?;
+    let tenant = args.tenant.clone().unwrap_or_else(|| "cli".to_string());
+    client.hello(&tenant)?;
+    client.register_tensor("a", "blocked_dense_vec", &dense_vector(vec![0.0; n]))?;
+    client.register_tensor("B", "blocked_csr", &b_data)?;
+    client.register_tensor("c", "replicated_dense_vec", &dense_vector(c_data.clone()))?;
+    for batch in &stream {
+        client.update_batch("B", batch)?;
+    }
+    let outcome =
+        client.submit_incremental(&[("a(i) = B(i,j) * c(j)", "outer-dim")], print_event)?;
+
+    // Replay the deltas locally and check the streamed result against the
+    // serial oracle over the mutated matrix.
+    let mut entries: std::collections::BTreeMap<Vec<i64>, f64> =
+        b_data.to_coo().into_iter().collect();
+    for d in stream.iter().flatten() {
+        entries.insert(d.coord.clone(), d.val);
+    }
+    let mut coo = spdistal_sparse::CooTensor::new(b_data.dims().to_vec());
+    for (coord, val) in &entries {
+        coo.push(coord, *val);
+    }
+    let mutated = coo.build(&b_data.formats());
+    let expect = reference::spmv(&mutated, &c_data);
+    let got = &outcome
+        .results
+        .first()
+        .ok_or("server streamed no result")?
+        .1;
+    if !reference::approx_eq(got, &expect, 1e-12) {
+        return Err("streamed result disagrees with the serial oracle".into());
+    }
+    println!("streamed result matches the serial oracle ({n} values)");
+    println!(
+        "done: tenant={tenant} batches={} iterations={} wall={:.6}s",
+        args.batches, outcome.iterations, outcome.wall_seconds
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -173,6 +253,7 @@ fn main() -> ExitCode {
     let run = || -> Result<(), Box<dyn std::error::Error>> {
         match args.command.as_str() {
             "demo" => demo(&args),
+            "stream" => stream(&args),
             "report" => {
                 let mut client = connect(&args)?;
                 println!("run_report_json={}", client.report()?);

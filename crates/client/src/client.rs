@@ -7,7 +7,7 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
-use spdistal_sparse::SpTensor;
+use spdistal_sparse::{CoordDelta, SpTensor};
 
 use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 use crate::proto::{tensor_to_wire, Event, ProtoError, Request, StmtSpec};
@@ -180,6 +180,64 @@ impl Client {
                 .collect(),
             iters,
             pipelined,
+        })?;
+        let mut outcome = SubmitOutcome::default();
+        loop {
+            let ev = self.recv()?;
+            on_event(&ev);
+            match ev {
+                Event::Result { stmt, vals } => outcome.results.push((stmt, vals)),
+                Event::Done {
+                    iterations,
+                    compiles,
+                    cache_hits,
+                    wall_seconds,
+                } => {
+                    outcome.iterations = iterations;
+                    outcome.compiles = compiles;
+                    outcome.cache_hits = cache_hits;
+                    outcome.wall_seconds = wall_seconds;
+                    return Ok(outcome);
+                }
+                Event::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Queue a delta batch against a tensor registered on this
+    /// connection. Queued batches feed the next [`submit_incremental`]
+    /// call; the registered base tensor is not mutated.
+    ///
+    /// [`submit_incremental`]: Client::submit_incremental
+    pub fn update_batch(&mut self, name: &str, deltas: &[CoordDelta]) -> Result<(), ClientError> {
+        self.send(&Request::UpdateBatch {
+            name: name.to_string(),
+            deltas: deltas.to_vec(),
+        })?;
+        self.expect_ok()
+    }
+
+    /// Submit a program for incremental execution: the server runs one
+    /// cold full pass, then re-runs incrementally after each delta batch
+    /// queued via [`Client::update_batch`], streaming an
+    /// [`Event::IncrementalReport`] per statement per batch into
+    /// `on_event` alongside the usual result/terminal events.
+    pub fn submit_incremental(
+        &mut self,
+        stmts: &[(&str, &str)],
+        mut on_event: impl FnMut(&Event),
+    ) -> Result<SubmitOutcome, ClientError> {
+        self.send(&Request::RunIncremental {
+            stmts: stmts
+                .iter()
+                .map(|(tin, schedule)| StmtSpec {
+                    tin: tin.to_string(),
+                    schedule: schedule.to_string(),
+                })
+                .collect(),
         })?;
         let mut outcome = SubmitOutcome::default();
         loop {

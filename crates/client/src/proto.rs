@@ -13,7 +13,7 @@
 
 use spdistal_ir::Format;
 use spdistal_obs::json::{self, Json};
-use spdistal_sparse::{CooTensor, SpTensor};
+use spdistal_sparse::{CooTensor, CoordDelta, DeltaOp, SpTensor};
 
 /// Why a payload failed to decode.
 #[derive(Debug)]
@@ -86,6 +86,90 @@ fn push_f64_array(out: &mut String, vals: &[f64]) {
     out.push(']');
 }
 
+fn push_stmts(out: &mut String, stmts: &[StmtSpec]) {
+    out.push('[');
+    for (i, s) in stmts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"tin\":\"{}\",\"schedule\":\"{}\"}}",
+            json::escape(&s.tin),
+            json::escape(&s.schedule)
+        ));
+    }
+    out.push(']');
+}
+
+fn parse_stmts(v: &Json) -> Result<Vec<StmtSpec>, ProtoError> {
+    let stmts = field(v, "stmts")?
+        .as_arr()
+        .ok_or_else(|| shape("'stmts' must be an array"))?
+        .iter()
+        .map(|s| {
+            Ok(StmtSpec {
+                tin: str_field(s, "tin")?,
+                schedule: str_field(s, "schedule")?,
+            })
+        })
+        .collect::<Result<Vec<StmtSpec>, ProtoError>>()?;
+    if stmts.is_empty() {
+        return Err(shape("'stmts' must not be empty"));
+    }
+    Ok(stmts)
+}
+
+fn push_deltas(out: &mut String, deltas: &[CoordDelta]) {
+    out.push('[');
+    for (i, d) in deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"coord\":[");
+        for (j, c) in d.coord.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str(&format!(
+            "],\"val\":{},\"op\":\"{}\"}}",
+            json::number(d.val),
+            d.op.name()
+        ));
+    }
+    out.push(']');
+}
+
+fn parse_deltas(v: &Json) -> Result<Vec<CoordDelta>, ProtoError> {
+    field(v, "deltas")?
+        .as_arr()
+        .ok_or_else(|| shape("'deltas' must be an array"))?
+        .iter()
+        .map(|d| {
+            let coord = field(d, "coord")?
+                .as_arr()
+                .ok_or_else(|| shape("'coord' must be an array"))?
+                .iter()
+                .map(|c| {
+                    c.as_f64()
+                        .filter(|n| n.fract() == 0.0)
+                        .map(|n| n as i64)
+                        .ok_or_else(|| shape("'coord' entries must be integers"))
+                })
+                .collect::<Result<Vec<i64>, _>>()?;
+            let op_name = str_field(d, "op")?;
+            let op = DeltaOp::from_name(&op_name)
+                .ok_or_else(|| shape(format!("unknown delta op '{op_name}'")))?;
+            Ok(CoordDelta {
+                coord,
+                val: f64_field(d, "val")?,
+                op,
+            })
+        })
+        .collect()
+}
+
 /// One statement of a submission: TIN text plus a schedule name
 /// (`"auto"`, `"outer-dim"`, or `"non-zero"`).
 #[derive(Clone, Debug, PartialEq)]
@@ -114,6 +198,18 @@ pub enum Request {
         iters: usize,
         pipelined: bool,
     },
+    /// Queue a batch of coordinate deltas against a registered tensor.
+    /// Queued batches are consumed, in arrival order, by the next
+    /// `run_incremental` submission on this connection; the registered
+    /// base tensor itself is not mutated.
+    UpdateBatch {
+        name: String,
+        deltas: Vec<CoordDelta>,
+    },
+    /// Run a program incrementally: one cold full pass over the registered
+    /// tensors, then one `run_incremental` pass per queued delta batch,
+    /// streaming an `incremental_report` event per statement per batch.
+    RunIncremental { stmts: Vec<StmtSpec> },
     /// Ask for the server's merged run report (one JSON line).
     Report,
     /// Ask the server to drain in-flight work and exit.
@@ -171,18 +267,24 @@ impl Request {
                 iters,
                 pipelined,
             } => {
-                let mut out = String::from("{\"type\":\"submit\",\"stmts\":[");
-                for (i, s) in stmts.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&format!(
-                        "{{\"tin\":\"{}\",\"schedule\":\"{}\"}}",
-                        json::escape(&s.tin),
-                        json::escape(&s.schedule)
-                    ));
-                }
-                out.push_str(&format!("],\"iters\":{iters},\"pipelined\":{pipelined}}}"));
+                let mut out = String::from("{\"type\":\"submit\",\"stmts\":");
+                push_stmts(&mut out, stmts);
+                out.push_str(&format!(",\"iters\":{iters},\"pipelined\":{pipelined}}}"));
+                out
+            }
+            Request::UpdateBatch { name, deltas } => {
+                let mut out = format!(
+                    "{{\"type\":\"update_batch\",\"name\":\"{}\",\"deltas\":",
+                    json::escape(name)
+                );
+                push_deltas(&mut out, deltas);
+                out.push('}');
+                out
+            }
+            Request::RunIncremental { stmts } => {
+                let mut out = String::from("{\"type\":\"run_incremental\",\"stmts\":");
+                push_stmts(&mut out, stmts);
+                out.push('}');
                 out
             }
             Request::Report => "{\"type\":\"report\"}".to_string(),
@@ -243,27 +345,18 @@ impl Request {
                     vals,
                 })
             }
-            "submit" => {
-                let stmts = field(&v, "stmts")?
-                    .as_arr()
-                    .ok_or_else(|| shape("'stmts' must be an array"))?
-                    .iter()
-                    .map(|s| {
-                        Ok(StmtSpec {
-                            tin: str_field(s, "tin")?,
-                            schedule: str_field(s, "schedule")?,
-                        })
-                    })
-                    .collect::<Result<Vec<StmtSpec>, ProtoError>>()?;
-                if stmts.is_empty() {
-                    return Err(shape("'stmts' must not be empty"));
-                }
-                Ok(Request::Submit {
-                    stmts,
-                    iters: usize_field(&v, "iters")?,
-                    pipelined: bool_field(&v, "pipelined")?,
-                })
-            }
+            "submit" => Ok(Request::Submit {
+                stmts: parse_stmts(&v)?,
+                iters: usize_field(&v, "iters")?,
+                pipelined: bool_field(&v, "pipelined")?,
+            }),
+            "update_batch" => Ok(Request::UpdateBatch {
+                name: str_field(&v, "name")?,
+                deltas: parse_deltas(&v)?,
+            }),
+            "run_incremental" => Ok(Request::RunIncremental {
+                stmts: parse_stmts(&v)?,
+            }),
             "report" => Ok(Request::Report),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(shape(format!("unknown request type '{other}'"))),
@@ -296,6 +389,16 @@ pub enum Event {
     },
     /// Server-wide kernel-dispatch counters sampled after an iteration.
     KernelDispatch { specialized: u64, fallback: u64 },
+    /// One statement's incremental-recompute summary for one streamed
+    /// delta batch of a `run_incremental` submission.
+    IncrementalReport {
+        iteration: usize,
+        stmt: usize,
+        rows_dirty: usize,
+        spans_reexecuted: usize,
+        spans_skipped: usize,
+        fallback: bool,
+    },
     /// One statement's output values after the last iteration.
     Result { stmt: usize, vals: Vec<f64> },
     /// Successful end of a submission.
@@ -357,6 +460,18 @@ impl Event {
                 "{{\"type\":\"kernel_dispatch\",\"specialized\":{specialized},\
                  \"fallback\":{fallback}}}"
             ),
+            Event::IncrementalReport {
+                iteration,
+                stmt,
+                rows_dirty,
+                spans_reexecuted,
+                spans_skipped,
+                fallback,
+            } => format!(
+                "{{\"type\":\"incremental_report\",\"iteration\":{iteration},\"stmt\":{stmt},\
+                 \"rows_dirty\":{rows_dirty},\"spans_reexecuted\":{spans_reexecuted},\
+                 \"spans_skipped\":{spans_skipped},\"fallback\":{fallback}}}"
+            ),
             Event::Result { stmt, vals } => {
                 let mut out = format!("{{\"type\":\"result\",\"stmt\":{stmt},\"vals\":");
                 push_f64_array(&mut out, vals);
@@ -411,6 +526,14 @@ impl Event {
             "kernel_dispatch" => Ok(Event::KernelDispatch {
                 specialized: usize_field(&v, "specialized")? as u64,
                 fallback: usize_field(&v, "fallback")? as u64,
+            }),
+            "incremental_report" => Ok(Event::IncrementalReport {
+                iteration: usize_field(&v, "iteration")?,
+                stmt: usize_field(&v, "stmt")?,
+                rows_dirty: usize_field(&v, "rows_dirty")?,
+                spans_reexecuted: usize_field(&v, "spans_reexecuted")?,
+                spans_skipped: usize_field(&v, "spans_skipped")?,
+                fallback: bool_field(&v, "fallback")?,
             }),
             "result" => Ok(Event::Result {
                 stmt: usize_field(&v, "stmt")?,
@@ -511,6 +634,20 @@ mod tests {
                 iters: 3,
                 pipelined: true,
             },
+            Request::UpdateBatch {
+                name: "B".to_string(),
+                deltas: vec![
+                    CoordDelta::insert(vec![0, 3], 1.25),
+                    CoordDelta::overwrite(vec![2, 1], -0.5),
+                    CoordDelta::delete(vec![3, 3]),
+                ],
+            },
+            Request::RunIncremental {
+                stmts: vec![StmtSpec {
+                    tin: "a(i) = B(i,j) * c(j)".to_string(),
+                    schedule: "outer-dim".to_string(),
+                }],
+            },
             Request::Report,
             Request::Shutdown,
         ];
@@ -545,6 +682,14 @@ mod tests {
             Event::KernelDispatch {
                 specialized: 5,
                 fallback: 1,
+            },
+            Event::IncrementalReport {
+                iteration: 2,
+                stmt: 0,
+                rows_dirty: 17,
+                spans_reexecuted: 3,
+                spans_skipped: 9,
+                fallback: false,
             },
             Event::Result {
                 stmt: 0,

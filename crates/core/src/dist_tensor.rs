@@ -17,12 +17,13 @@ use spdistal_runtime::{
     ExecMode, IntervalSet, Machine, Partition, Rect1, RegionId, Runtime, RuntimeError, SplitPolicy,
     Trace,
 };
-use spdistal_sparse::{Level, SpTensor};
+use spdistal_sparse::{CooTensor, CoordDelta, DeltaOp, Level, SpTensor};
 
 use crate::level_funcs::{
     equal_coord_bounds, nonzero_partition, partition_tensor, replicated_partition,
     universe_partition, TensorPartition,
 };
+use crate::streaming::{DirtyMap, StreamingState, TensorDirty, UpdateReport};
 
 /// Bytes per element of each region kind: `pos` stores `(lo, hi)` tuples,
 /// `crd` stores coordinates, `vals` stores doubles.
@@ -131,6 +132,9 @@ pub struct Context {
     exec_mode: ExecMode,
     split: SplitPolicy,
     trace: Trace,
+    /// Per-tensor versions and streamed dirty state (see
+    /// [`crate::streaming`]).
+    streaming: StreamingState,
 }
 
 impl Context {
@@ -142,6 +146,7 @@ impl Context {
             exec_mode: ExecMode::Serial,
             split: SplitPolicy::Auto,
             trace: Trace::disabled(),
+            streaming: StreamingState::default(),
         }
     }
 
@@ -234,11 +239,16 @@ impl Context {
     }
 
     /// Mutable access to a tensor's values (e.g. to zero an output).
+    /// Counts as an untracked mutation: the tensor's version is bumped, so
+    /// retained incremental state keyed to the old version is invalidated.
     pub fn tensor_data_mut(&mut self, name: &str) -> Result<&mut SpTensor, Error> {
-        self.tensors
+        let t = self
+            .tensors
             .get_mut(name)
             .map(|t| &mut t.data)
-            .ok_or_else(|| Error::UnknownTensor(name.to_string()))
+            .ok_or_else(|| Error::UnknownTensor(name.to_string()))?;
+        self.streaming.bump_version(name);
+        Ok(t)
     }
 
     /// Replace a tensor's data wholesale (sparse outputs with fresh
@@ -255,6 +265,125 @@ impl Context {
         }
         self.tensors.remove(name);
         self.add_tensor(name, data, format)
+    }
+
+    /// Apply a batch of coordinate deltas to a registered tensor and track
+    /// the touched leading-dimension rows in its per-row-block dirty bitmap
+    /// (see [`crate::streaming`]). The tensor's data is rebuilt in its
+    /// registered format (regions and the initial distribution are
+    /// re-materialized, as with [`Context::replace_tensor_data`]); the
+    /// accumulated dirty state survives across batches until the next
+    /// program run consumes it.
+    ///
+    /// Inserts of absent coordinates and deletes of present ones are
+    /// *structural* (value positions move), which bars the incremental
+    /// fast path for the affected statements until a full run re-baselines
+    /// them. Overwrites of stored coordinates keep the structure — the case
+    /// incremental recompute consumes. Deleting an absent coordinate is
+    /// ignored; inserting over a present one degrades to an overwrite.
+    pub fn update_batch(
+        &mut self,
+        name: &str,
+        deltas: &[CoordDelta],
+    ) -> Result<UpdateReport, Error> {
+        let t = self.tensor(name)?;
+        let dims = t.data.dims().to_vec();
+        let order = dims.len();
+        for d in deltas {
+            if d.coord.len() != order {
+                return Err(Error::Unsupported(format!(
+                    "delta coordinate order {} != tensor '{name}' order {order}",
+                    d.coord.len()
+                )));
+            }
+            for (k, &c) in d.coord.iter().enumerate() {
+                if c < 0 || c as usize >= dims[k] {
+                    return Err(Error::Unsupported(format!(
+                        "delta coordinate {c} out of bounds for dimension {k} of '{name}' (extent {})",
+                        dims[k]
+                    )));
+                }
+            }
+        }
+        let mut report = UpdateReport::default();
+        if deltas.is_empty() {
+            report.rows_dirty = self.streaming.dirty(name).map_or(0, |d| d.map.dirty_rows());
+            return Ok(report);
+        }
+        let mut entries: BTreeMap<Vec<i64>, f64> = t.data.to_coo().into_iter().collect();
+        let mut touched_rows: Vec<i64> = Vec::new();
+        for d in deltas {
+            match d.op {
+                DeltaOp::Insert | DeltaOp::Overwrite => {
+                    match entries.insert(d.coord.clone(), d.val) {
+                        Some(_) => report.overwritten += 1,
+                        None => {
+                            report.inserted += 1;
+                            report.structural = true;
+                        }
+                    }
+                    touched_rows.push(d.coord[0]);
+                }
+                DeltaOp::Delete => {
+                    if entries.remove(&d.coord).is_some() {
+                        report.deleted += 1;
+                        report.structural = true;
+                        touched_rows.push(d.coord[0]);
+                    } else {
+                        report.ignored += 1;
+                    }
+                }
+            }
+        }
+        let formats = t.data.formats();
+        let mut coo = CooTensor::new(dims.clone());
+        for (c, v) in &entries {
+            coo.push(c, *v);
+        }
+        let data = coo.build(&formats);
+        // Carry the dirty state across the replacement (which, like any
+        // re-registration, clears it), then extend it with this batch.
+        let prev = self.streaming.take_dirty(name);
+        let from_version = prev
+            .as_ref()
+            .map_or_else(|| self.streaming.version(name), |p| p.from_version);
+        let prev_structural = prev.as_ref().is_some_and(|p| p.structural);
+        let prev_deltas = prev.as_ref().map_or(0, |p| p.deltas_applied);
+        let mut map = prev.map_or_else(|| DirtyMap::new(dims[0]), |p| p.map);
+        self.replace_tensor_data(name, data)?;
+        for &r in &touched_rows {
+            map.mark(r);
+        }
+        report.rows_dirty = map.dirty_rows();
+        self.streaming.set_dirty(
+            name,
+            TensorDirty {
+                map,
+                structural: report.structural || prev_structural,
+                from_version,
+                tracked_version: self.streaming.version(name),
+                deltas_applied: prev_deltas + report.applied() as u64,
+            },
+        );
+        Ok(report)
+    }
+
+    /// The tensor's current version: bumped on every registration,
+    /// replacement, or mutable-data access. 0 before first registration.
+    pub fn tensor_version(&self, name: &str) -> u64 {
+        self.streaming.version(name)
+    }
+
+    /// The tracked dirty state accumulated on a tensor since the last run,
+    /// if any.
+    pub fn dirty_state(&self, name: &str) -> Option<&TensorDirty> {
+        self.streaming.dirty(name)
+    }
+
+    /// Drop every tensor's tracked dirty state (a program run brought all
+    /// consumers up to date).
+    pub fn clear_all_dirty(&mut self) {
+        self.streaming.clear_all_dirty();
     }
 
     /// Re-register a tensor under a new format (keeping its data): the old
@@ -283,6 +412,14 @@ impl Context {
     /// distribution (Figure 1 lines 18-22).
     pub fn add_tensor(&mut self, name: &str, data: SpTensor, format: Format) -> Result<(), Error> {
         format.validate(data.order())?;
+        // Any (re-)registration is a new tensor state: bump the version and
+        // drop tracked dirty state. This is what makes format
+        // re-registration (`set_tensor_format`) invalidate retained
+        // incremental buffers instead of silently reusing them —
+        // `update_batch` is the one caller that restores (and extends) the
+        // dirty state it removed before replacing the data.
+        self.streaming.bump_version(name);
+        self.streaming.clear_dirty(name);
         let spec = format.dist.resolve(data.order())?;
         let regions = self.create_regions(name, &data);
         let dist_part = self.initial_partition(&data, &spec)?;

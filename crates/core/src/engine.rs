@@ -185,6 +185,16 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Drop one cached plan — used when a tracked *structural* tensor
+    /// mutation (see [`crate::streaming`]) invalidates the partitions a
+    /// plan embedded, without throwing away every other tenant's entries.
+    pub fn remove(&self, key: &PlanKey) {
+        self.entries
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+    }
+
     /// Drop every cached plan. Affects every program sharing this cache —
     /// see [`CompiledProgram::clear_plan_cache`](crate::CompiledProgram::clear_plan_cache).
     pub fn clear(&self) {

@@ -44,6 +44,7 @@ pub mod level_funcs;
 pub mod plan;
 pub mod program;
 pub mod session;
+pub mod streaming;
 
 pub use admission::{AdmissionError, AdmissionQueue};
 pub use api::{access, assign, schedule_nonzero, schedule_outer_dim};
@@ -57,6 +58,10 @@ pub use program::{
     AutoDecision, CompiledProgram, Program, ProgramReport, ScheduleSpec, StmtReport,
 };
 pub use session::{FlushReport, Session, TensorFuture};
+pub use streaming::{
+    CoordDelta, DeltaOp, DirtyMap, IncrementalStats, TensorDirty, UpdateReport,
+    FALLBACK_DIRTY_RATIO,
+};
 
 /// The structured-tracing spine: typed event recorder, metrics registry,
 /// Chrome-trace export, run reports (re-exported from `spdistal-obs`).
@@ -74,6 +79,7 @@ pub mod prelude {
         AutoDecision, CompiledProgram, Program, ProgramReport, ScheduleSpec, StmtReport,
     };
     pub use crate::session::{FlushReport, Session, TensorFuture};
+    pub use crate::streaming::{CoordDelta, DeltaOp, IncrementalStats, UpdateReport};
     pub use spdistal_ir::{Format, ParallelUnit, Schedule};
     pub use spdistal_obs::Trace;
     pub use spdistal_runtime::{ExecMode, LaunchTiming, Machine, MachineProfile, SplitPolicy};

@@ -83,6 +83,7 @@ use crate::codegen::{OutKind, Plan, PlannedInput};
 use crate::dist_tensor::{procs_for_color, Context, Error, LevelRegions, VAL_BYTES};
 use crate::kernels::{self, matrix, specialized, tensor3, KernelSpan, LeafKernel, OutVals};
 use crate::level_funcs::{entry_counts, TensorPartition};
+use crate::streaming::DirtyMap;
 
 /// The computed value of a plan's output.
 #[derive(Clone, Debug)]
@@ -146,7 +147,7 @@ pub struct ExecResult {
 /// sweeps, see it).
 pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
     let trace = ctx.trace().clone();
-    let mut prepared = PreparedPlan::new(ctx, plan, DAG_OUT_REGION)?;
+    let mut prepared = PreparedPlan::new(ctx, plan, DAG_OUT_REGION, None)?;
     let pipeline = Pipeline::new(vec![prepared.take_launch_desc()]);
     let (report, timings) = pipeline.run_traced(ctx.exec_mode(), &trace, |_, point, span| {
         prepared.run_point(point, span)
@@ -158,6 +159,80 @@ pub fn execute(ctx: &mut Context, plan: &Plan) -> Result<ExecResult, Error> {
 /// Synthetic region id standing in for the output region (created only
 /// after the compute phase sizes it) when deriving the compute DAG.
 pub(crate) const DAG_OUT_REGION: RegionId = RegionId(u32::MAX);
+
+/// What [`execute_incremental`] did beyond the plain [`ExecResult`].
+pub(crate) struct IncrementalOutcome {
+    pub result: ExecResult,
+    pub spans_reexecuted: usize,
+    pub spans_skipped: usize,
+}
+
+/// Execute `plan` incrementally: seed the shared in-place output with the
+/// retained buffer of the previous run, re-execute only the colors whose
+/// driver rows intersect `dirty` (zeroing their output slices first — the
+/// dense leaf kernels accumulate into a zeroed buffer), and record every
+/// skipped span as a zero-op result so the launch bookkeeping stays whole.
+///
+/// The retained buffer is taken by value and becomes the shared output
+/// allocation itself — an incremental pass never zero-fills or copies an
+/// output-sized buffer on the way in, which matters when the skipped work
+/// is the point.
+///
+/// Returns `Ok(None)` when the plan cannot merge in place (reduction /
+/// assembled / interpreted output, or a retained buffer of the wrong
+/// length) — the caller falls back to a full [`execute`]. Callers are
+/// responsible for eligibility beyond plan shape: `retained` must be the
+/// bit-exact output of this same plan against the pre-delta data, and every
+/// input other than value-only driver deltas must be unchanged (see
+/// [`crate::streaming`]).
+pub(crate) fn execute_incremental(
+    ctx: &mut Context,
+    plan: &Plan,
+    dirty: &DirtyMap,
+    retained: Vec<f64>,
+) -> Result<Option<IncrementalOutcome>, Error> {
+    let trace = ctx.trace().clone();
+    let mut prepared = PreparedPlan::new(ctx, plan, DAG_OUT_REGION, Some(retained))?;
+    if !prepared.seeded {
+        return Ok(None);
+    }
+    // Color granularity: a color re-runs iff its driver rows intersect the
+    // dirty set; unmappable colors (no level-0 row range) run defensively.
+    let rerun: Vec<bool> = (0..prepared.spans.len())
+        .map(|c| match prepared.color_row_range(c) {
+            Some((lo, hi)) => dirty.intersects_range(lo, hi),
+            None => true,
+        })
+        .collect();
+    for (c, rerun_c) in rerun.iter().enumerate() {
+        if *rerun_c {
+            prepared.zero_color_output(c);
+        }
+    }
+    let (mut reexec, mut skipped) = (0usize, 0usize);
+    for (c, spans) in prepared.spans.iter().enumerate() {
+        if rerun[c] {
+            reexec += spans.len();
+        } else {
+            skipped += spans.len();
+        }
+    }
+    let pipeline = Pipeline::new(vec![prepared.take_launch_desc()]);
+    let (report, timings) = pipeline.run_traced(ctx.exec_mode(), &trace, |_, point, span| {
+        if rerun[point] {
+            prepared.run_point(point, span);
+        } else {
+            prepared.skip_point(point, span);
+        }
+    });
+    let (computed, ops) = prepared.finish()?;
+    let result = finish_model(ctx, plan, computed, ops, report, timings, None)?;
+    Ok(Some(IncrementalOutcome {
+        result,
+        spans_reexecuted: reexec,
+        spans_skipped: skipped,
+    }))
+}
 
 /// One span's computed contribution, parked until [`PreparedPlan::finish`].
 enum PointResult {
@@ -279,6 +354,9 @@ pub(crate) struct PreparedPlan<'a> {
     specialized: Option<specialized::SpecializedKernel>,
     out_len: usize,
     shared: Option<SharedOut>,
+    /// Whether a caller-provided seed became the shared output allocation
+    /// (see [`PreparedPlan::new`]); the incremental path's precondition.
+    seeded: bool,
     /// Reduction plans: one private partial per color, written in place by
     /// the color's spans (disjoint elements), combined in color order at
     /// [`PreparedPlan::finish`]. Empty for in-place/assembled/interp plans.
@@ -292,10 +370,17 @@ impl<'a> PreparedPlan<'a> {
     /// id standing in for the (not yet created) output region in the
     /// compute-phase requirements; drivers coordinating several plans give
     /// each a distinct id.
+    ///
+    /// `seed`, when given, becomes the shared output allocation itself
+    /// (no zero-fill, no copy) — the incremental path's retained buffer.
+    /// It is honored only when the plan has a shared in-place output of
+    /// exactly that length; `seeded` records whether it took effect, and
+    /// callers that required seeding must fall back when it did not.
     pub(crate) fn new(
         ctx: &'a Context,
         plan: &'a Plan,
         out_region: RegionId,
+        seed: Option<Vec<f64>>,
     ) -> Result<Self, Error> {
         let accesses = plan.stmt.rhs.accesses();
         let data = |name: &str| ctx.tensor(name).map(|t| &t.data);
@@ -386,10 +471,17 @@ impl<'a> PreparedPlan<'a> {
             per_color
         };
 
+        let mut seeded = false;
         let shared = match &plan.kernel {
             LeafKernel::SpAdd3 | LeafKernel::Generic => None,
             _ if plan.output.reduce => None,
-            _ => Some(SharedOut::new(vec![0.0; out_len])),
+            _ => Some(SharedOut::new(match seed {
+                Some(vals) if vals.len() == out_len => {
+                    seeded = true;
+                    vals
+                }
+                _ => vec![0.0; out_len],
+            })),
         };
         // Aliased (reduce) outputs: the color partials the unsplit path
         // allocated per point task, hoisted to describe time so a split
@@ -446,6 +538,7 @@ impl<'a> PreparedPlan<'a> {
             specialized,
             out_len,
             shared,
+            seeded,
             reduce_parts,
             slots,
         })
@@ -539,6 +632,59 @@ impl<'a> PreparedPlan<'a> {
             }
         };
         *self.slots[self.span_offsets[point] + span].lock().unwrap() = Some(result);
+    }
+
+    /// The closed row-coordinate range of one color's driver level-0
+    /// entries, for intersecting against a dirty-row set. `None` when the
+    /// color owns no entries or the level-0 storage doesn't expose a row
+    /// order (callers treat that color as dirty).
+    fn color_row_range(&self, color: usize) -> Option<(i64, i64)> {
+        let subset = self.part.entries[0].subset(color);
+        let rects = subset.rects();
+        let (first, last) = (rects.first()?, rects.last()?);
+        match self.driver.level(0) {
+            // Level-0 dense entries *are* row coordinates (single root
+            // parent).
+            Level::Dense { .. } => Some((first.lo, last.hi)),
+            // Compressed level-0 entries index a sorted row-coordinate
+            // array.
+            Level::Compressed { crd, .. } => {
+                let lo = crd.get(first.lo as usize)?;
+                let hi = crd.get(last.hi as usize)?;
+                Some((*lo, *hi))
+            }
+            Level::Singleton { .. } => None,
+        }
+    }
+
+    /// Zero one color's slice of the shared output, so a re-executed
+    /// color's accumulating kernels rebuild it from scratch (exactly as a
+    /// full run would).
+    fn zero_color_output(&mut self, color: usize) {
+        let subset = match &self.plan.output.kind {
+            OutKind::DenseVec | OutKind::PatternVals { .. } => {
+                self.plan.output.part.subset(color).clone()
+            }
+            OutKind::DenseMat { width } => scale_set(self.plan.output.part.subset(color), *width),
+            OutKind::SparseAssembled => return,
+        };
+        let Some(shared) = &mut self.shared else {
+            return;
+        };
+        for r in subset.rects() {
+            let lo = r.lo.max(0) as usize;
+            let hi = (r.hi.min(shared.len as i64 - 1)).max(-1);
+            if hi < 0 {
+                continue;
+            }
+            shared.buf[lo..=hi as usize].fill(0.0);
+        }
+    }
+
+    /// Record one span as skipped: its output elements keep the seeded
+    /// retained values and it contributes zero modeled ops.
+    fn skip_point(&self, point: usize, span: usize) {
+        *self.slots[self.span_offsets[point] + span].lock().unwrap() = Some(PointResult::Ops(0.0));
     }
 
     fn dense_point(&self, point: usize, kernel: impl FnOnce(&OutVals) -> f64) -> PointResult {

@@ -81,8 +81,9 @@ use crate::dist_tensor::{Context, Error};
 use crate::engine::{PlanCache, PlanKey};
 use crate::kernels;
 use crate::level_funcs::{equal_coord_bounds, partition_tensor, universe_partition};
-use crate::plan::{ExecResult, OutputValue};
+use crate::plan::{self, execute_incremental, ExecResult, OutputValue};
 use crate::session::{FlushReport, Session};
+use crate::streaming::{DirtyMap, IncrementalStats, RetainedOutput, FALLBACK_DIRTY_RATIO};
 
 /// Static auto-scheduling threshold: if the driver's equal outer-dimension
 /// blocks carry nnz imbalance above this, [`ScheduleSpec::Auto`] picks the
@@ -446,6 +447,8 @@ impl Program {
             tenant: self.tenant,
             report: ProgramReport::default(),
             last_results: vec![None; n],
+            retained: vec![None; n],
+            last_incremental: vec![None; n],
         })
     }
 }
@@ -494,6 +497,13 @@ pub struct CompiledProgram {
     tenant: Option<String>,
     report: ProgramReport,
     last_results: Vec<Option<ExecResult>>,
+    /// Per-statement retained output of the most recent run, with the
+    /// version snapshot proving what it was computed from — the merge
+    /// base for [`CompiledProgram::run_incremental`].
+    retained: Vec<Option<RetainedOutput>>,
+    /// Per-statement telemetry of the most recent
+    /// [`run_incremental`](CompiledProgram::run_incremental) pass.
+    last_incremental: Vec<Option<IncrementalStats>>,
 }
 
 impl CompiledProgram {
@@ -532,14 +542,36 @@ impl CompiledProgram {
     /// Re-register a tensor under a new format. Cached plans for
     /// statements touching it miss from now on (the format signature is
     /// part of the cache key) and recompile against the new declaration.
+    /// Re-registration also drops tracked dirty state for `name` (in the
+    /// context) and every retained incremental output of a statement that
+    /// reads or writes it — a new level layout re-orders stored values, so
+    /// neither is a valid merge base afterwards.
     pub fn set_tensor_format(&mut self, name: &str, format: Format) -> Result<(), Error> {
-        self.ctx.set_tensor_format(name, format)
+        self.ctx.set_tensor_format(name, format)?;
+        for k in 0..self.stmts.len() {
+            if self.stmts[k].stmt.tensor_names().iter().any(|n| n == name) {
+                self.retained[k] = None;
+            }
+        }
+        Ok(())
     }
 
     /// Mutable access to a tensor's values (e.g. the CP-ALS factor-damping
     /// step between sweeps).
     pub fn tensor_data_mut(&mut self, name: &str) -> Result<&mut SpTensor, Error> {
         self.ctx.tensor_data_mut(name)
+    }
+
+    /// Apply a batch of coordinate deltas to a registered tensor and track
+    /// the touched rows for the next
+    /// [`run_incremental`](CompiledProgram::run_incremental) — see
+    /// [`Context::update_batch`].
+    pub fn update_batch(
+        &mut self,
+        name: &str,
+        deltas: &[crate::streaming::CoordDelta],
+    ) -> Result<crate::streaming::UpdateReport, Error> {
+        self.ctx.update_batch(name, deltas)
     }
 
     /// The last run's result for statement `k` (None before the first
@@ -659,6 +691,9 @@ impl CompiledProgram {
         for _ in 0..iters {
             let iter = self.report.iterations;
             let t0 = Instant::now();
+            // Accumulated streamed deltas can invalidate an earlier
+            // outer-dim pick even on the full-run path.
+            self.drift_reselect()?;
             self.ensure_schedules(iter)?;
             self.execute_once()?;
             self.report.iterations += 1;
@@ -1042,6 +1077,15 @@ impl CompiledProgram {
 
     /// One whole-program pass through a deferred session.
     fn execute_once(&mut self) -> Result<(), Error> {
+        for k in 0..self.stmts.len() {
+            self.invalidate_structural(k);
+        }
+        let drivers: Vec<Option<String>> = (0..self.stmts.len())
+            .map(|k| self.sparse_driver(&self.stmts[k].stmt))
+            .collect();
+        let snapshots: Vec<Vec<(String, u64)>> = (0..self.stmts.len())
+            .map(|k| self.input_version_snapshot(k, drivers[k].as_deref()))
+            .collect();
         let plans: Vec<Arc<Plan>> = (0..self.stmts.len())
             .map(|k| self.ensure_plan(k))
             .collect::<Result<_, _>>()?;
@@ -1066,6 +1110,12 @@ impl CompiledProgram {
             }
         }
         self.last_results = results;
+        for k in 0..self.stmts.len() {
+            self.retain_output(k, snapshots[k].clone(), drivers[k].as_deref());
+        }
+        // A full pass brought every consumer up to date with every tracked
+        // delta — dirty state is consumed.
+        self.ctx.clear_all_dirty();
 
         // Fold the iteration into the cumulative report.
         let r = &mut self.report;
@@ -1081,7 +1131,14 @@ impl CompiledProgram {
             r.model_makespan += f.model_makespan();
             r.launches.extend(f.launches.iter().cloned());
         }
-        r.stmts = self
+        self.update_stmt_reports();
+        Ok(())
+    }
+
+    /// Refresh [`ProgramReport::stmts`] from the current selections and
+    /// `last_results`.
+    fn update_stmt_reports(&mut self) {
+        self.report.stmts = self
             .stmts
             .iter()
             .zip(&self.last_results)
@@ -1099,7 +1156,359 @@ impl CompiledProgram {
                 }
             })
             .collect();
+    }
+
+    // ---- incremental recompute ------------------------------------------
+
+    /// Telemetry of statement `k`'s most recent
+    /// [`run_incremental`](CompiledProgram::run_incremental) pass (`None`
+    /// before the first incremental run).
+    pub fn last_incremental(&self, k: usize) -> Option<&IncrementalStats> {
+        self.last_incremental.get(k)?.as_ref()
+    }
+
+    /// Versions of every tensor statement `k` *reads* other than the
+    /// sparse driver — the snapshot a retained output carries so the next
+    /// incremental pass can prove those operands unchanged. The output
+    /// tensor is excluded (its version bumps on every write-back).
+    fn input_version_snapshot(&self, k: usize, driver: Option<&str>) -> Vec<(String, u64)> {
+        let stmt = &self.stmts[k].stmt;
+        let out = stmt.lhs.tensor.clone();
+        let mut seen: Vec<(String, u64)> = Vec::new();
+        for a in stmt.rhs.accesses() {
+            if a.tensor == out
+                || Some(a.tensor.as_str()) == driver
+                || seen.iter().any(|(n, _)| *n == a.tensor)
+            {
+                continue;
+            }
+            let version = self.ctx.tensor_version(&a.tensor);
+            seen.push((a.tensor.clone(), version));
+        }
+        seen
+    }
+
+    /// Capture statement `k`'s freshly computed output as the next merge
+    /// base (no-op before its first result).
+    fn retain_output(
+        &mut self,
+        k: usize,
+        input_versions: Vec<(String, u64)>,
+        driver: Option<&str>,
+    ) {
+        let vals = self.last_results[k].as_ref().map(|r| match &r.output {
+            OutputValue::Dense(v) => v.clone(),
+            OutputValue::Tensor(t) => t.vals().to_vec(),
+        });
+        self.retain_vals(k, vals, input_versions, driver);
+    }
+
+    /// [`CompiledProgram::retain_output`] with the output values already
+    /// extracted — the incremental loop uses this to retain straight from
+    /// the pass's results without cloning whole `ExecResult`s first.
+    fn retain_vals(
+        &mut self,
+        k: usize,
+        vals: Option<Vec<f64>>,
+        input_versions: Vec<(String, u64)>,
+        driver: Option<&str>,
+    ) {
+        let Some(vals) = vals else {
+            return;
+        };
+        self.retained[k] = Some(RetainedOutput {
+            vals,
+            driver_version: driver.map(|d| self.ctx.tensor_version(d)).unwrap_or(0),
+            input_versions,
+            plan_key: self.cache_key(k).to_string(),
+        });
+    }
+
+    /// If any tensor statement `k` touches carries *structural* tracked
+    /// deltas (inserts/deletes), drop the statement's cached plan — it
+    /// embeds partitions derived from the old sparsity pattern — and its
+    /// retained output.
+    fn invalidate_structural(&mut self, k: usize) {
+        let structural = self.stmts[k]
+            .stmt
+            .tensor_names()
+            .iter()
+            .any(|n| self.ctx.dirty_state(n).is_some_and(|d| d.structural));
+        if structural {
+            self.cache.remove(&self.cache_key(k));
+            self.retained[k] = None;
+        }
+    }
+
+    /// The drift half of the auto-tuning loop: accumulated streamed deltas
+    /// can skew a driver that was balanced when the outer-dimension
+    /// schedule was picked. Re-examine every `Auto` statement still on
+    /// outer-dim whose driver carries tracked deltas, and re-select the
+    /// non-zero distribution when the *current* row-block nnz imbalance
+    /// crosses [`SWITCH_IMBALANCE`].
+    fn drift_reselect(&mut self) -> Result<(), Error> {
+        let pieces = self.default_pieces();
+        for k in 0..self.stmts.len() {
+            let ps = &self.stmts[k];
+            if !matches!(ps.spec, ScheduleSpec::Auto)
+                || !matches!(
+                    ps.chosen.as_ref().map(|c| c.kind),
+                    Some(ChosenKind::OuterDim)
+                )
+            {
+                continue;
+            }
+            let stmt = ps.stmt.clone();
+            let Some(driver) = self.sparse_driver(&stmt) else {
+                continue;
+            };
+            let deltas = match self.ctx.dirty_state(&driver) {
+                Some(d) if d.deltas_applied > 0 => d.deltas_applied,
+                _ => continue,
+            };
+            let imbalance = self.outer_block_imbalance(&driver, pieces)?;
+            if imbalance <= SWITCH_IMBALANCE {
+                continue;
+            }
+            let reason = format!(
+                "drift: {driver} row-block nnz imbalance {imbalance:.2}x > \
+                 {SWITCH_IMBALANCE:.2}x after {deltas} streamed delta(s)"
+            );
+            let depth = self.nonzero_depth(&driver);
+            let unit = ParallelUnit::CpuThread;
+            match Self::build_nonzero(&mut self.ctx, &stmt, &driver, depth, pieces, unit) {
+                Ok(chosen) => {
+                    self.push_decision(AutoDecision {
+                        stmt: k,
+                        iteration: self.report.iterations,
+                        choice: "non-zero",
+                        reason,
+                    });
+                    self.stmts[k].chosen = Some(chosen);
+                    // New schedule, new plan key: the retained output is
+                    // still numerically valid but keyed to the old plan.
+                    self.retained[k] = None;
+                }
+                Err(e) => {
+                    self.push_decision(AutoDecision {
+                        stmt: k,
+                        iteration: self.report.iterations,
+                        choice: "outer-dim",
+                        reason: format!("{reason}; non-zero schedule unavailable ({e})"),
+                    });
+                }
+            }
+            self.stmts[k].tuned = true;
+        }
         Ok(())
+    }
+
+    /// Execute the whole program once, re-using each statement's retained
+    /// output where the tracked delta state proves it sound: only the
+    /// colors whose driver rows intersect the dirty set re-execute, the
+    /// rest are served from the retained buffer. Statements that cannot
+    /// take the fast path (no retained run yet, structural deltas, an
+    /// untracked operand change, a dirty ratio above
+    /// [`FALLBACK_DIRTY_RATIO`], a schedule/format change, or a plan with
+    /// no in-place output) fall back to a full recompute — either way the
+    /// result is bit-identical to [`run`](CompiledProgram::run) on the
+    /// same data.
+    ///
+    /// Statements run launch-at-a-time (no cross-statement overlap);
+    /// every pass is trace-instrumented with
+    /// `incremental.{runs,rows_dirty,spans_reexecuted,spans_skipped,fallbacks}`
+    /// counters and an `Event::IncrementalRun` per statement, and
+    /// [`last_incremental`](CompiledProgram::last_incremental) reports
+    /// per-statement what happened and why.
+    pub fn run_incremental(&mut self) -> Result<&ProgramReport, Error> {
+        let iter = self.report.iterations;
+        let t0 = Instant::now();
+        self.drift_reselect()?;
+        self.ensure_schedules(iter)?;
+        let n = self.stmts.len();
+        for k in 0..n {
+            self.invalidate_structural(k);
+        }
+        let drivers: Vec<Option<String>> = (0..n)
+            .map(|k| self.sparse_driver(&self.stmts[k].stmt))
+            .collect();
+        let snapshots: Vec<Vec<(String, u64)>> = (0..n)
+            .map(|k| self.input_version_snapshot(k, drivers[k].as_deref()))
+            .collect();
+
+        let mut results: Vec<Option<ExecResult>> = vec![None; n];
+        let mut stats_out: Vec<Option<IncrementalStats>> = vec![None; n];
+        for k in 0..n {
+            let plan = self.ensure_plan(k)?;
+            let key_str = self.cache_key(k).to_string();
+            let driver = drivers[k].clone();
+            let rows_dirty = driver
+                .as_deref()
+                .and_then(|d| self.ctx.dirty_state(d))
+                .map(|td| td.map.dirty_rows())
+                .unwrap_or(0);
+
+            // Eligibility: every observable operand must be provably
+            // unchanged except value-only deltas on the tracked driver.
+            let mut fallback_reason: Option<String> = None;
+            let mut dirty = DirtyMap::default();
+            let stmt = &self.stmts[k].stmt;
+            if stmt
+                .rhs
+                .accesses()
+                .iter()
+                .any(|a| a.tensor == stmt.lhs.tensor)
+            {
+                fallback_reason =
+                    Some("output tensor also appears on the right-hand side".to_string());
+            }
+            if fallback_reason.is_none() {
+                match self.retained[k].as_ref() {
+                    None => {
+                        fallback_reason =
+                            Some("no retained output from a previous run".to_string());
+                    }
+                    Some(ret) if ret.plan_key != key_str => {
+                        fallback_reason =
+                            Some("schedule or format changed since the retained run".to_string());
+                    }
+                    Some(ret) => {
+                        if let Some((name, v)) = ret
+                            .input_versions
+                            .iter()
+                            .find(|(name, v)| self.ctx.tensor_version(name) != *v)
+                        {
+                            fallback_reason = Some(format!(
+                                "input '{name}' changed (version {} != retained {v})",
+                                self.ctx.tensor_version(name)
+                            ));
+                        } else if let Some(d) = driver.as_deref() {
+                            match self.ctx.dirty_state(d) {
+                                None if self.ctx.tensor_version(d) != ret.driver_version => {
+                                    fallback_reason =
+                                        Some(format!("driver '{d}' mutated outside update_batch"));
+                                }
+                                // Clean driver: empty dirty set, every
+                                // color skips.
+                                None => {}
+                                Some(td) if td.structural => {
+                                    fallback_reason =
+                                        Some(format!("structural deltas on driver '{d}'"));
+                                }
+                                Some(td)
+                                    if td.from_version != ret.driver_version
+                                        || self.ctx.tensor_version(d) != td.tracked_version =>
+                                {
+                                    fallback_reason = Some(format!(
+                                        "driver '{d}' version lineage broken by an untracked \
+                                         mutation"
+                                    ));
+                                }
+                                Some(td) if td.map.ratio() > FALLBACK_DIRTY_RATIO => {
+                                    fallback_reason = Some(format!(
+                                        "dirty ratio {:.2} > {FALLBACK_DIRTY_RATIO:.2}",
+                                        td.map.ratio()
+                                    ));
+                                }
+                                Some(td) => dirty = td.map.clone(),
+                            }
+                        }
+                    }
+                }
+            }
+
+            let stats = if let Some(reason) = fallback_reason {
+                let result = plan::execute(&mut self.ctx, &plan)?;
+                let spans = result.sched.spans;
+                results[k] = Some(result);
+                IncrementalStats {
+                    stmt: k,
+                    rows_dirty,
+                    spans_reexecuted: spans,
+                    spans_skipped: 0,
+                    fallback: true,
+                    reason,
+                }
+            } else {
+                // The retained buffer moves into the incremental pass and
+                // becomes the shared output allocation; a fresh retained
+                // output is captured from the result below either way.
+                let retained_vals = self.retained[k].take().unwrap().vals;
+                match execute_incremental(&mut self.ctx, &plan, &dirty, retained_vals)? {
+                    Some(outcome) => {
+                        let stats = IncrementalStats {
+                            stmt: k,
+                            rows_dirty,
+                            spans_reexecuted: outcome.spans_reexecuted,
+                            spans_skipped: outcome.spans_skipped,
+                            fallback: false,
+                            reason: format!(
+                                "incremental: {} span(s) re-executed, {} skipped",
+                                outcome.spans_reexecuted, outcome.spans_skipped
+                            ),
+                        };
+                        results[k] = Some(outcome.result);
+                        stats
+                    }
+                    None => {
+                        let result = plan::execute(&mut self.ctx, &plan)?;
+                        let spans = result.sched.spans;
+                        results[k] = Some(result);
+                        IncrementalStats {
+                            stmt: k,
+                            rows_dirty,
+                            spans_reexecuted: spans,
+                            spans_skipped: 0,
+                            fallback: true,
+                            reason: "plan has no in-place output to merge into".to_string(),
+                        }
+                    }
+                }
+            };
+            self.ctx.trace().incremental_run(
+                k as u32,
+                stats.rows_dirty as u64,
+                stats.spans_reexecuted as u64,
+                stats.spans_skipped as u64,
+                stats.fallback,
+            );
+            stats_out[k] = Some(stats);
+            let vals = results[k].as_ref().map(|r| match &r.output {
+                OutputValue::Dense(v) => v.clone(),
+                OutputValue::Tensor(t) => t.vals().to_vec(),
+            });
+            self.retain_vals(k, vals, snapshots[k].clone(), drivers[k].as_deref());
+        }
+        self.last_results = results;
+        self.last_incremental = stats_out;
+        self.ctx.clear_all_dirty();
+
+        // Fold the pass into the cumulative report (launch-at-a-time:
+        // each statement's own scheduler report counts once).
+        self.report.iterations += 1;
+        self.report.launches.clear();
+        for res in self.last_results.iter().flatten() {
+            self.report.wall_seconds += res.sched.wall_seconds;
+            self.report.batches += 1;
+            self.report.tasks += res.sched.tasks;
+            self.report.spans += res.sched.spans;
+            self.report.steals += res.sched.steals;
+            self.report.threads = self.report.threads.max(res.sched.threads);
+            self.report.model_seq_sum += res.time;
+            self.report.model_makespan += res.time;
+        }
+        let launches: Vec<LaunchTiming> = self
+            .last_results
+            .iter()
+            .flatten()
+            .flat_map(|r| r.launches.iter().cloned())
+            .collect();
+        self.report.launches = launches;
+        self.update_stmt_reports();
+        let trace = self.ctx.trace();
+        trace.observe_ns("iter_ns", t0.elapsed().as_nanos() as u64);
+        trace.add("iterations", 1);
+        Ok(&self.report)
     }
 }
 
@@ -1338,6 +1747,196 @@ mod tests {
             &x1,
             1e-12
         ));
+    }
+
+    fn bits(p: &CompiledProgram, k: usize) -> Vec<u64> {
+        p.value(k)
+            .unwrap()
+            .as_tensor()
+            .unwrap()
+            .vals()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn run_incremental_is_bit_identical_and_skips_clean_colors() {
+        use crate::streaming::CoordDelta;
+        let b = generate::banded(96, 5, 3);
+        let mut p = spmv_program(b, ScheduleSpec::outer_dim()).build().unwrap();
+        p.run().unwrap();
+        // Value-only deltas confined to the first few rows: one of four
+        // colors is dirty, three are served from the retained output.
+        let deltas: Vec<CoordDelta> = (0..4)
+            .map(|i| CoordDelta::overwrite(vec![i, i], 7.5 + i as f64))
+            .collect();
+        let rep = p.update_batch("B", &deltas).unwrap();
+        assert!(!rep.structural);
+        assert_eq!(rep.overwritten, 4);
+        assert_eq!(rep.rows_dirty, 4);
+        p.run_incremental().unwrap();
+        let stats = p.last_incremental(0).unwrap().clone();
+        assert!(!stats.fallback, "unexpected fallback: {}", stats.reason);
+        assert_eq!(stats.rows_dirty, 4);
+        assert!(stats.spans_reexecuted > 0);
+        assert!(stats.spans_skipped > 0, "clean colors must be skipped");
+        // Bit-identical to a full recompute over the post-delta data.
+        let b2 = p.context().tensor("B").unwrap().data.clone();
+        let mut full = spmv_program(b2, ScheduleSpec::outer_dim()).build().unwrap();
+        full.run().unwrap();
+        assert_eq!(bits(&p, 0), bits(&full, 0));
+        // Trace counters observed the pass.
+        let m = p.trace().metrics();
+        if let Some(m) = m {
+            assert_eq!(m.counter("incremental.runs").get(), 1);
+        }
+    }
+
+    #[test]
+    fn run_incremental_without_deltas_skips_every_span() {
+        let b = generate::banded(96, 5, 3);
+        let mut p = spmv_program(b, ScheduleSpec::outer_dim()).build().unwrap();
+        p.run().unwrap();
+        let before = bits(&p, 0);
+        p.run_incremental().unwrap();
+        let stats = p.last_incremental(0).unwrap();
+        assert!(!stats.fallback, "unexpected fallback: {}", stats.reason);
+        assert_eq!(stats.spans_reexecuted, 0);
+        assert!(stats.spans_skipped > 0);
+        assert_eq!(bits(&p, 0), before);
+    }
+
+    #[test]
+    fn structural_deltas_fall_back_and_recompile_bit_identically() {
+        use crate::streaming::CoordDelta;
+        let b = generate::banded(96, 5, 3);
+        let mut p = spmv_program(b, ScheduleSpec::outer_dim()).build().unwrap();
+        p.run().unwrap();
+        assert_eq!(p.report().compiles, 1);
+        // Inserts outside the band change the sparsity pattern: the cached
+        // plan's partitions are stale and must be recompiled.
+        let deltas = vec![
+            CoordDelta::insert(vec![0, 90], 3.25),
+            CoordDelta::delete(vec![1, 1]),
+            CoordDelta::delete(vec![95, 0]), // absent -> ignored
+        ];
+        let rep = p.update_batch("B", &deltas).unwrap();
+        assert!(rep.structural);
+        assert_eq!((rep.inserted, rep.deleted, rep.ignored), (1, 1, 1));
+        p.run_incremental().unwrap();
+        let stats = p.last_incremental(0).unwrap();
+        assert!(stats.fallback);
+        assert_eq!(p.report().compiles, 2, "structural deltas must recompile");
+        let b2 = p.context().tensor("B").unwrap().data.clone();
+        let mut full = spmv_program(b2, ScheduleSpec::outer_dim()).build().unwrap();
+        full.run().unwrap();
+        assert_eq!(bits(&p, 0), bits(&full, 0));
+    }
+
+    #[test]
+    fn set_tensor_format_invalidates_incremental_state() {
+        use crate::streaming::CoordDelta;
+        let b = generate::banded(96, 5, 3);
+        let mut p = spmv_program(b, ScheduleSpec::outer_dim()).build().unwrap();
+        p.run().unwrap();
+        p.update_batch("B", &[CoordDelta::overwrite(vec![0, 0], 9.0)])
+            .unwrap();
+        // Re-registration drops the tracked dirty state and the retained
+        // output: the next incremental pass must fall back, not merge into
+        // a buffer keyed to the old format.
+        p.set_tensor_format("B", Format::nonzero_csr()).unwrap();
+        assert!(p.context().dirty_state("B").is_none());
+        p.run_incremental().unwrap();
+        let stats = p.last_incremental(0).unwrap();
+        assert!(stats.fallback);
+        let b2 = p.context().tensor("B").unwrap().data.clone();
+        let mut full = spmv_program(b2, ScheduleSpec::outer_dim()).build().unwrap();
+        full.run().unwrap();
+        assert_eq!(bits(&p, 0), bits(&full, 0));
+    }
+
+    #[test]
+    fn drift_reselects_nonzero_after_streamed_skew() {
+        use crate::streaming::CoordDelta;
+        // Balanced band: auto stays outer-dim through warm-up.
+        let b = generate::banded(128, 7, 9);
+        let mut p = spmv_program(b, ScheduleSpec::Auto).build().unwrap();
+        p.run_iters(2).unwrap();
+        assert_eq!(p.report().stmts[0].schedule_kind, "outer-dim");
+        // Stream inserts concentrated in the first row block until its nnz
+        // share crosses the switch threshold.
+        let mut deltas = Vec::new();
+        for i in 0..32 {
+            for j in 64..72 {
+                deltas.push(CoordDelta::insert(vec![i, j], 0.5));
+            }
+        }
+        p.update_batch("B", &deltas).unwrap();
+        p.run_incremental().unwrap();
+        let report = p.report();
+        assert_eq!(report.stmts[0].schedule_kind, "non-zero");
+        let drift = report
+            .decisions_for(0)
+            .find(|d| d.reason.starts_with("drift"))
+            .expect("a drift re-selection must be recorded");
+        assert_eq!(drift.choice, "non-zero");
+        // Correct under the re-selected schedule.
+        let b2 = p.context().tensor("B").unwrap().data.clone();
+        let c = generate::dense_vec(128, 5);
+        let expect = reference::spmv(&b2, &c);
+        let got = p.value(0).unwrap().as_tensor().unwrap();
+        assert!(reference::approx_eq(got.vals(), &expect, 1e-12));
+    }
+
+    #[test]
+    fn incremental_chained_statements_stay_correct() {
+        use crate::streaming::CoordDelta;
+        // x1 = B*x0; x2 = B*x1 — stmt 1's operand x1 is rewritten by stmt
+        // 0 every pass, so it must fall back while stmt 0 merges.
+        let b = generate::banded(80, 5, 2);
+        let n = b.dims()[0];
+        let x0 = generate::dense_vec(n, 6);
+        let build = |b: SpTensor| {
+            Program::on(machine())
+                .tensor("B", Format::blocked_csr(), b)
+                .tensor(
+                    "x0",
+                    Format::replicated_dense_vec(),
+                    dense_vector(x0.clone()),
+                )
+                .tensor(
+                    "x1",
+                    Format::blocked_dense_vec(),
+                    dense_vector(vec![0.0; n]),
+                )
+                .tensor(
+                    "x2",
+                    Format::blocked_dense_vec(),
+                    dense_vector(vec![0.0; n]),
+                )
+                .stmt("x1(i) = B(i,j) * x0(j)")
+                .schedule(ScheduleSpec::outer_dim())
+                .stmt("x2(i) = B(i,j) * x1(j)")
+                .schedule(ScheduleSpec::outer_dim())
+                .build()
+                .unwrap()
+        };
+        let mut p = build(b);
+        p.run().unwrap();
+        p.update_batch("B", &[CoordDelta::overwrite(vec![0, 0], 11.0)])
+            .unwrap();
+        p.run_incremental().unwrap();
+        assert!(!p.last_incremental(0).unwrap().fallback);
+        assert!(
+            p.last_incremental(1).unwrap().fallback,
+            "stmt 1 reads a rewritten operand and must fall back"
+        );
+        let b2 = p.context().tensor("B").unwrap().data.clone();
+        let mut full = build(b2);
+        full.run().unwrap();
+        assert_eq!(bits(&p, 0), bits(&full, 0));
+        assert_eq!(bits(&p, 1), bits(&full, 1));
     }
 
     #[test]

@@ -349,7 +349,7 @@ impl<'c> Session<'c> {
                 // Distinct synthetic output region per plan, counting down
                 // from the top of the id space (real ids count up from 0).
                 let out_region = RegionId(u32::MAX - k as u32);
-                let mut p = PreparedPlan::new(ctx, &q.plan, out_region)?;
+                let mut p = PreparedPlan::new(ctx, &q.plan, out_region, None)?;
                 launches.push(
                     p.take_launch_desc()
                         .with_extra_reqs(writeback_reqs(ctx, &q.plan)?),

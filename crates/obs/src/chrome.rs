@@ -285,6 +285,33 @@ pub fn chrome_trace_json(recorder: &TraceRecorder) -> String {
                     ),
                 );
             }
+            Event::IncrementalRun {
+                stmt,
+                rows_dirty,
+                spans_reexecuted,
+                spans_skipped,
+                fallback,
+            } => {
+                emit.instant(
+                    // Three names so CI can `--require` the interesting
+                    // case directly: a fallback, a merge that skipped
+                    // clean spans, or a merge that re-ran everything.
+                    if fallback {
+                        "incremental-fallback"
+                    } else if spans_skipped > 0 {
+                        "incremental-skip"
+                    } else {
+                        "incremental-run"
+                    },
+                    "incremental",
+                    ev.ts_ns,
+                    PID_MEASURED,
+                    ev.lane,
+                    &format!(
+                        "\"stmt\":{stmt},\"rows_dirty\":{rows_dirty},\"spans_reexecuted\":{spans_reexecuted},\"spans_skipped\":{spans_skipped}"
+                    ),
+                );
+            }
         }
     }
 
@@ -527,6 +554,17 @@ mod tests {
                 specialized: false,
             },
         );
+        rec.record_at(
+            80,
+            0,
+            Event::IncrementalRun {
+                stmt: 0,
+                rows_dirty: 5,
+                spans_reexecuted: 2,
+                spans_skipped: 14,
+                fallback: false,
+            },
+        );
         rec
     }
 
@@ -544,6 +582,7 @@ mod tests {
             "flush",
             "model",
             "kernel-dispatch",
+            "incremental",
         ] {
             assert!(stats.count(cat) >= 1, "missing category {cat}: {stats:?}");
         }

@@ -84,6 +84,17 @@ pub enum Event {
         signature: Sym,
         specialized: bool,
     },
+    /// One incremental execution of a statement: `rows_dirty` driver rows
+    /// were marked by streamed deltas, `spans_reexecuted` leaf spans ran,
+    /// `spans_skipped` were served from the retained output. `fallback`
+    /// says the dirty set forced a full recompute instead (all spans ran).
+    IncrementalRun {
+        stmt: u32,
+        rows_dirty: u64,
+        spans_reexecuted: u64,
+        spans_skipped: u64,
+        fallback: bool,
+    },
 }
 
 impl Event {
@@ -100,6 +111,7 @@ impl Event {
             Event::AutoDecision { .. } => "auto",
             Event::ModelLaunch { .. } | Event::ModelFence { .. } => "model",
             Event::KernelDispatch { .. } => "kernel-dispatch",
+            Event::IncrementalRun { .. } => "incremental",
         }
     }
 }

@@ -345,6 +345,37 @@ impl Trace {
         }
     }
 
+    /// One incremental execution of a statement: how much of the dirty set
+    /// it saw and how many leaf spans it re-executed versus served from the
+    /// retained output. Bumps the `incremental.*` counters either way;
+    /// `fallback` additionally bumps `incremental.fallbacks` (the dirty set
+    /// forced a full recompute).
+    pub fn incremental_run(
+        &self,
+        stmt: u32,
+        rows_dirty: u64,
+        spans_reexecuted: u64,
+        spans_skipped: u64,
+        fallback: bool,
+    ) {
+        if self.is_enabled() {
+            self.record(Event::IncrementalRun {
+                stmt,
+                rows_dirty,
+                spans_reexecuted,
+                spans_skipped,
+                fallback,
+            });
+            self.add("incremental.runs", 1);
+            self.add("incremental.rows_dirty", rows_dirty);
+            self.add("incremental.spans_reexecuted", spans_reexecuted);
+            self.add("incremental.spans_skipped", spans_skipped);
+            if fallback {
+                self.add("incremental.fallbacks", 1);
+            }
+        }
+    }
+
     /// One launch on the modeled timeline (simulated seconds).
     pub fn model_launch(&self, name: &str, issue: f64, start: f64, finish: f64, seq_span: f64) {
         if self.is_enabled() {

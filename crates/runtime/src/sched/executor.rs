@@ -51,10 +51,19 @@ impl ExecMode {
 
     /// Worker threads this mode resolves to, after the clamping policy in
     /// the type docs.
+    ///
+    /// The host's available parallelism is queried once per process and
+    /// memoized: `available_parallelism` reads cgroup/affinity state from
+    /// the kernel on every call, and `threads()` sits on per-launch (and,
+    /// via span sizing, per-color) paths where those reads dominated the
+    /// describe phase.
     pub fn threads(&self) -> usize {
-        let avail = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        static AVAIL: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let avail = *AVAIL.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         match *self {
             ExecMode::Serial => 1,
             ExecMode::Parallel(0) => avail,

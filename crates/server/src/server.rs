@@ -32,7 +32,7 @@ use spdistal::prelude::*;
 use spdistal::OutputValue;
 use spdistal_client::frame::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
 use spdistal_client::proto::{format_by_name, tensor_from_wire, Event, Request};
-use spdistal_sparse::SpTensor;
+use spdistal_sparse::{CoordDelta, SpTensor};
 
 use crate::signal;
 
@@ -198,6 +198,12 @@ struct Job {
     stmts: Vec<(String, ScheduleSpec)>,
     iters: usize,
     pipelined: bool,
+    /// Streamed delta batches, in arrival order, for an incremental job.
+    deltas: Vec<(String, Vec<CoordDelta>)>,
+    /// Incremental jobs run one cold pass, then `run_incremental` per
+    /// delta batch (streaming `incremental_report` events) instead of
+    /// `iters` full passes.
+    incremental: bool,
     events: mpsc::Sender<Event>,
 }
 
@@ -429,6 +435,36 @@ fn register_tensor(
     Event::Ok
 }
 
+/// Validate a streamed delta batch against the connection's registered
+/// tensors and queue it for the next incremental submission. Returns the
+/// answer event.
+fn queue_update_batch(
+    name: String,
+    deltas: Vec<CoordDelta>,
+    tensors: &[(String, Format, SpTensor)],
+    pending: &mut Vec<(String, Vec<CoordDelta>)>,
+) -> Event {
+    let Some((_, _, data)) = tensors.iter().find(|(n, ..)| *n == name) else {
+        return error_event("unknown_tensor", &format!("no tensor '{name}' registered"));
+    };
+    let dims = data.dims();
+    for d in &deltas {
+        if d.coord.len() != dims.len()
+            || d.coord
+                .iter()
+                .zip(dims)
+                .any(|(c, dim)| *c < 0 || *c >= *dim as i64)
+        {
+            return error_event(
+                "bad_tensor",
+                &format!("delta coordinate {:?} outside dims {dims:?}", d.coord),
+            );
+        }
+    }
+    pending.push((name, deltas));
+    Event::Ok
+}
+
 fn handle_conn(
     mut conn: Conn,
     engine: &Engine,
@@ -441,6 +477,7 @@ fn handle_conn(
     let mut reader = FrameReader::new();
     let mut tenant = format!("conn-{conn_id}");
     let mut tensors: Vec<(String, Format, SpTensor)> = Vec::new();
+    let mut pending_deltas: Vec<(String, Vec<CoordDelta>)> = Vec::new();
     // Answer-path sends must reach the peer; a failure is a disconnect.
     macro_rules! answer {
         ($ev:expr) => {
@@ -501,11 +538,24 @@ fn handle_conn(
                     &mut tensors
                 ));
             }
-            Request::Submit {
-                stmts,
-                iters,
-                pipelined,
-            } => {
+            Request::UpdateBatch { name, deltas } => {
+                answer!(queue_update_batch(
+                    name,
+                    deltas,
+                    &tensors,
+                    &mut pending_deltas
+                ));
+            }
+            req @ (Request::Submit { .. } | Request::RunIncremental { .. }) => {
+                let (stmts, iters, pipelined, incremental) = match req {
+                    Request::Submit {
+                        stmts,
+                        iters,
+                        pipelined,
+                    } => (stmts, iters, pipelined, false),
+                    Request::RunIncremental { stmts } => (stmts, 1, true, true),
+                    _ => unreachable!("outer match narrows the variant"),
+                };
                 let mut specs = Vec::with_capacity(stmts.len());
                 let mut bad_schedule = None;
                 for s in &stmts {
@@ -531,6 +581,12 @@ fn handle_conn(
                     stmts: specs,
                     iters,
                     pipelined,
+                    deltas: if incremental {
+                        std::mem::take(&mut pending_deltas)
+                    } else {
+                        Vec::new()
+                    },
+                    incremental,
                     events,
                 };
                 match queue.submit(&tenant, job) {
@@ -621,8 +677,7 @@ fn run_job(
     let base = engine.trace().metrics().map(dispatch);
 
     let mut decisions_sent = 0;
-    for iteration in 0..job.iters.max(1) {
-        program.run()?;
+    let mut flush = |program: &CompiledProgram, iteration: usize| {
         let report = program.report();
         for d in report.decisions.iter().skip(decisions_sent) {
             send(Event::AutoDecision {
@@ -647,6 +702,36 @@ fn run_job(
                 specialized: s.saturating_sub(s0),
                 fallback: f.saturating_sub(f0),
             });
+        }
+    };
+    if job.incremental {
+        // One cold full pass seeds the retained outputs, then each queued
+        // delta batch is applied and re-run incrementally, answering with
+        // one `incremental_report` per statement per batch. Drift
+        // re-selection decisions taken along the way stream back as
+        // ordinary `auto_decision` events via the final flush.
+        program.run()?;
+        for (iteration, (name, batch)) in job.deltas.iter().enumerate() {
+            program.update_batch(name, batch)?;
+            program.run_incremental()?;
+            for stmt in 0..program.stmt_count() {
+                if let Some(stats) = program.last_incremental(stmt) {
+                    send(Event::IncrementalReport {
+                        iteration,
+                        stmt,
+                        rows_dirty: stats.rows_dirty,
+                        spans_reexecuted: stats.spans_reexecuted,
+                        spans_skipped: stats.spans_skipped,
+                        fallback: stats.fallback,
+                    });
+                }
+            }
+        }
+        flush(&program, job.deltas.len());
+    } else {
+        for iteration in 0..job.iters.max(1) {
+            program.run()?;
+            flush(&program, iteration);
         }
     }
 

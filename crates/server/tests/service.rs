@@ -367,3 +367,102 @@ fn shutdown_drains_in_flight_work_and_unlinks_the_socket() {
     }
     assert!(!path.exists(), "socket file must be unlinked at shutdown");
 }
+
+#[test]
+fn streamed_deltas_run_incrementally_and_match_a_full_submission() {
+    let harness = start(spdistal_server::ServerConfig::default());
+    let (b_data, c_data) = demo_tensors();
+
+    // Two hand-placed value-only batches over the lexicographically first
+    // stored coordinates: every dirty row lands in the first color of the
+    // 4-piece row distribution, so the other three colors must be skipped.
+    let coo = b_data.to_coo();
+    let batches: Vec<Vec<spdistal_sparse::CoordDelta>> = vec![
+        coo.iter()
+            .take(4)
+            .map(|(c, v)| spdistal_sparse::CoordDelta::overwrite(c.clone(), v * 2.0 + 1.0))
+            .collect(),
+        coo.iter()
+            .skip(2)
+            .take(4)
+            .map(|(c, v)| spdistal_sparse::CoordDelta::overwrite(c.clone(), v - 0.5))
+            .collect(),
+    ];
+
+    let mut client = harness.client();
+    client.hello("streamer").expect("hello");
+    register_demo(&mut client, &b_data, &c_data);
+
+    // Deltas against an unregistered tensor are a typed error, and the
+    // connection keeps serving.
+    match client.update_batch("missing", &batches[0]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "unknown_tensor"),
+        other => panic!("expected unknown_tensor error, got {other:?}"),
+    }
+
+    for batch in &batches {
+        client.update_batch("B", batch).expect("queue batch");
+    }
+    let mut reports = Vec::new();
+    let outcome = client
+        .submit_incremental(&[(STMT, "outer-dim")], |ev| {
+            if let Event::IncrementalReport {
+                iteration,
+                rows_dirty,
+                spans_reexecuted,
+                spans_skipped,
+                fallback,
+                ..
+            } = ev
+            {
+                reports.push((
+                    *iteration,
+                    *rows_dirty,
+                    *spans_reexecuted,
+                    *spans_skipped,
+                    *fallback,
+                ));
+            }
+        })
+        .expect("incremental submit");
+    // One cold pass + one incremental pass per batch.
+    assert_eq!(outcome.iterations, 1 + batches.len());
+    assert_eq!(reports.len(), batches.len());
+    for (iteration, rows_dirty, _rerun, skipped, fallback) in &reports {
+        assert!(!fallback, "batch {iteration} fell back");
+        assert!(*rows_dirty > 0, "batch {iteration} saw no dirty rows");
+        assert!(*skipped > 0, "batch {iteration} skipped no spans");
+    }
+
+    // The incremental result must be bit-identical to a plain full
+    // submission over the mutated matrix from a second tenant.
+    let mut mutated: std::collections::BTreeMap<Vec<i64>, f64> = coo.into_iter().collect();
+    for d in batches.iter().flatten() {
+        mutated.insert(d.coord.clone(), d.val);
+    }
+    let mut rebuilt = spdistal_sparse::CooTensor::new(b_data.dims().to_vec());
+    for (coord, val) in &mutated {
+        rebuilt.push(coord, *val);
+    }
+    let mutated = rebuilt.build(&b_data.formats());
+
+    let mut full = harness.client();
+    full.hello("oracle").expect("hello");
+    register_demo(&mut full, &mutated, &c_data);
+    let full_outcome = full
+        .submit(&[(STMT, "outer-dim")], 1, true, |_| {})
+        .expect("full submit");
+
+    let got = &outcome.results.first().expect("incremental result").1;
+    let want = &full_outcome.results.first().expect("full result").1;
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "incremental service result must be bit-identical to a full run"
+        );
+    }
+
+    harness.finish();
+}

@@ -1,0 +1,104 @@
+//! Coordinate deltas: the unit of streaming tensor mutation.
+//!
+//! A [`CoordDelta`] names one coordinate of a tensor and what happens to
+//! it — insert a new entry, overwrite an existing value, or delete the
+//! entry. Batches of deltas (`&[CoordDelta]`) are the wire- and API-level
+//! currency of the streaming subsystem: generators produce them
+//! ([`crate::generate::delta_stream`]), `Context::update_batch` applies
+//! them, and the serving protocol ships them.
+
+/// What a delta does to its coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Add an entry at a coordinate. Applied to a coordinate that already
+    /// holds an entry it degrades to an overwrite (upsert semantics), so
+    /// replayed streams stay idempotent.
+    Insert,
+    /// Replace the value at an existing coordinate. Applied to an absent
+    /// coordinate it inserts (and is then a *structural* change).
+    Overwrite,
+    /// Remove the entry at a coordinate. Absent coordinates are ignored.
+    Delete,
+}
+
+impl DeltaOp {
+    /// The wire-protocol name (`"insert"` / `"overwrite"` / `"delete"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeltaOp::Insert => "insert",
+            DeltaOp::Overwrite => "overwrite",
+            DeltaOp::Delete => "delete",
+        }
+    }
+
+    /// Parse a wire-protocol name back into an op.
+    pub fn from_name(name: &str) -> Option<DeltaOp> {
+        match name {
+            "insert" => Some(DeltaOp::Insert),
+            "overwrite" => Some(DeltaOp::Overwrite),
+            "delete" => Some(DeltaOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// One streamed mutation of one tensor coordinate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoordDelta {
+    /// Full coordinate, one component per tensor dimension.
+    pub coord: Vec<i64>,
+    /// New value (ignored for [`DeltaOp::Delete`]).
+    pub val: f64,
+    pub op: DeltaOp,
+}
+
+impl CoordDelta {
+    pub fn insert(coord: Vec<i64>, val: f64) -> CoordDelta {
+        CoordDelta {
+            coord,
+            val,
+            op: DeltaOp::Insert,
+        }
+    }
+
+    pub fn overwrite(coord: Vec<i64>, val: f64) -> CoordDelta {
+        CoordDelta {
+            coord,
+            val,
+            op: DeltaOp::Overwrite,
+        }
+    }
+
+    pub fn delete(coord: Vec<i64>) -> CoordDelta {
+        CoordDelta {
+            coord,
+            val: 0.0,
+            op: DeltaOp::Delete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_names_round_trip() {
+        for op in [DeltaOp::Insert, DeltaOp::Overwrite, DeltaOp::Delete] {
+            assert_eq!(DeltaOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(DeltaOp::from_name("upsert"), None);
+    }
+
+    #[test]
+    fn constructors_set_ops() {
+        assert_eq!(CoordDelta::insert(vec![1, 2], 3.0).op, DeltaOp::Insert);
+        assert_eq!(
+            CoordDelta::overwrite(vec![1, 2], 3.0).op,
+            DeltaOp::Overwrite
+        );
+        let d = CoordDelta::delete(vec![1, 2]);
+        assert_eq!(d.op, DeltaOp::Delete);
+        assert_eq!(d.val, 0.0);
+    }
+}

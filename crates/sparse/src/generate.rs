@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::builder::CooTensor;
+use crate::delta::CoordDelta;
 use crate::tensor::{LevelFormat, SpTensor};
 
 /// Formats shorthand: CSR `{Dense, Compressed}`.
@@ -147,6 +148,55 @@ pub fn rmat_clustered(scale: u32, nnz: usize, alpha: f64, seed: u64) -> SpTensor
     let a = 0.25 + 0.45 * alpha;
     let b = 0.25 - 0.1 * alpha;
     rmat_impl(scale, nnz, a, b, b, seed, false)
+}
+
+/// A stream of coordinate-delta batches over an existing tensor
+/// (typically [`rmat_clustered`]): each batch overwrites `batch_nnz`
+/// stored entries with fresh values, and `alpha` in `[0, 1]` dials how
+/// hard the batch *clusters* on the tensor's leading rows — `alpha = 0`
+/// touches stored entries uniformly, `alpha = 1` concentrates every batch
+/// on the low-index hub rows, the streaming analogue of the clustered
+/// R-MAT skew. Overwrite-only batches keep the sparsity structure fixed,
+/// which is what the incremental-recompute fast path consumes; callers
+/// wanting structural churn mix in their own inserts/deletes.
+///
+/// Degenerate inputs are guarded the same way [`rmat_clustered`] is: a
+/// `NaN` skew falls back to uniform and other values clamp into `[0, 1]`;
+/// an empty tensor or `batch_nnz == 0` yields `batches` empty batches
+/// (callers can still iterate the stream); `batches == 0` yields no
+/// batches at all. Deterministic by seed.
+pub fn delta_stream(
+    t: &SpTensor,
+    alpha: f64,
+    batches: usize,
+    batch_nnz: usize,
+    seed: u64,
+) -> Vec<Vec<CoordDelta>> {
+    let alpha = if alpha.is_nan() {
+        0.0
+    } else {
+        alpha.clamp(0.0, 1.0)
+    };
+    // `to_coo` is lexicographically sorted, so low sample indices are low
+    // rows — biasing the index distribution toward 0 clusters the batch on
+    // the same leading rows where `rmat_clustered` parks its hubs.
+    let coo = t.to_coo();
+    if coo.is_empty() || batch_nnz == 0 {
+        return vec![Vec::new(); batches];
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut batch = Vec::with_capacity(batch_nnz);
+        for _ in 0..batch_nnz {
+            let r: f64 = rng.gen();
+            let biased = r.powf(1.0 + 7.0 * alpha);
+            let idx = ((biased * coo.len() as f64) as usize).min(coo.len() - 1);
+            batch.push(CoordDelta::overwrite(coo[idx].0.clone(), value(&mut rng)));
+        }
+        out.push(batch);
+    }
+    out
 }
 
 /// A matrix with uniformly dense rows of the given degree (models
@@ -384,6 +434,65 @@ mod tests {
         v1.sort_unstable();
         v2.sort_unstable();
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn delta_stream_clusters_and_stays_in_bounds() {
+        let t = rmat_clustered(8, 3000, 0.8, 5);
+        let stream = delta_stream(&t, 0.9, 4, 200, 7);
+        assert_eq!(stream.len(), 4);
+        let n = t.dims()[0] as i64;
+        let mut low_rows = 0usize;
+        let mut total = 0usize;
+        for batch in &stream {
+            assert_eq!(batch.len(), 200);
+            for d in batch {
+                assert_eq!(d.op, crate::delta::DeltaOp::Overwrite);
+                assert!(d.coord[0] >= 0 && d.coord[0] < n);
+                assert!(d.coord[1] >= 0 && d.coord[1] < n);
+                total += 1;
+                if d.coord[0] < n / 4 {
+                    low_rows += 1;
+                }
+            }
+        }
+        // High alpha concentrates batches on the leading rows.
+        assert!(
+            low_rows * 2 > total,
+            "expected clustering, {low_rows}/{total} in the low quarter"
+        );
+        // Uniform alpha spreads wider than the clustered stream.
+        let flat = delta_stream(&t, 0.0, 4, 200, 7);
+        let flat_low: usize = flat.iter().flatten().filter(|d| d.coord[0] < n / 4).count();
+        assert!(flat_low < low_rows, "alpha must dial clustering");
+    }
+
+    #[test]
+    fn delta_stream_degenerate_inputs_are_guarded() {
+        let t = rmat_clustered(6, 500, 0.5, 3);
+        // NaN alpha falls back to uniform; out-of-range alphas clamp.
+        assert_eq!(
+            delta_stream(&t, f64::NAN, 2, 10, 9),
+            delta_stream(&t, 0.0, 2, 10, 9)
+        );
+        assert_eq!(
+            delta_stream(&t, 7.0, 2, 10, 9),
+            delta_stream(&t, 1.0, 2, 10, 9)
+        );
+        // Empty tensor / empty batches still yield an iterable stream.
+        let empty = rmat_clustered(6, 0, 0.5, 3);
+        assert_eq!(delta_stream(&empty, 0.5, 3, 10, 9), vec![Vec::new(); 3]);
+        assert_eq!(delta_stream(&t, 0.5, 3, 0, 9), vec![Vec::new(); 3]);
+        assert!(delta_stream(&t, 0.5, 0, 10, 9).is_empty());
+        // Deterministic by seed.
+        assert_eq!(
+            delta_stream(&t, 0.5, 2, 20, 9),
+            delta_stream(&t, 0.5, 2, 20, 9)
+        );
+        assert_ne!(
+            delta_stream(&t, 0.5, 2, 20, 9),
+            delta_stream(&t, 0.5, 2, 20, 10)
+        );
     }
 
     #[test]

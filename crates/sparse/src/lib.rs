@@ -13,10 +13,12 @@
 pub mod builder;
 pub mod convert;
 pub mod dataset;
+pub mod delta;
 pub mod generate;
 pub mod mm;
 pub mod reference;
 pub mod tensor;
 
 pub use builder::{csc_from_triplets, csr_from_triplets, dense_matrix, dense_vector, CooTensor};
+pub use delta::{CoordDelta, DeltaOp};
 pub use tensor::{Level, LevelFormat, SpTensor};
